@@ -1,0 +1,96 @@
+// Ablation A3 — GPS-trace tracking vs the cellular beep pipeline.
+//
+// The paper's core argument: urban-canyon GPS is both less accurate for bus
+// tracking and two orders of magnitude more power-hungry than cellular
+// sampling. This bench runs both trackers over the same physical bus runs
+// and reports estimation error beside the phone-side energy cost.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/gps_tracker.h"
+#include "sensing/power_model.h"
+
+namespace bussense::bench {
+namespace {
+
+void report() {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  TrafficServer server(city, bed.database);
+  const SegmentCatalog& catalog = server.catalog();
+  const GpsTracker gps(catalog);
+  Rng rng(41);
+
+  RunningStats cellular_err, gps_err;
+  int cellular_segments = 0, gps_segments = 0;
+  for (const std::string name : {"79", "99", "243"}) {
+    const BusRoute& route = *city.route_by_name(name, 0);
+    for (int k = 0; k < 8; ++k) {
+      const SimTime depart = at_clock(0, 7, 30) + k * 80 * kMinute;
+      const int last = static_cast<int>(route.stop_count()) - 2;
+      const std::map<int, int> board{{1, 1}};
+      const std::map<int, int> alight{{last, 1}};
+      const BusRun run = bed.world.buses().simulate_run(
+          route, depart, board, alight, 600.0, rng, /*record_trajectory=*/true);
+      auto score = [&](const std::vector<SpeedEstimate>& estimates,
+                       RunningStats& err, int& segs) {
+        for (const SpeedEstimate& e : estimates) {
+          const SpanInfo* info = catalog.adjacent(e.segment);
+          if (!info) continue;
+          const double truth = bed.world.traffic().mean_car_speed_kmh(
+              city.route(info->route), info->arc_from, info->arc_to, e.time);
+          err.add(std::abs(e.att_speed_kmh - truth));
+          ++segs;
+        }
+      };
+      const AnnotatedTrip trip =
+          bed.world.simulate_single_trip(route, 1, last, depart, rng);
+      score(server.process_trip(trip.upload).estimates, cellular_err,
+            cellular_segments);
+      score(gps.estimate(route, bed.world.gps_trace(run, 2.0, rng)), gps_err,
+            gps_segments);
+    }
+  }
+
+  const PowerModel power;
+  const PhoneProfile htc = htc_sensation_profile();
+  print_banner(std::cout, "Ablation A3: cellular beep pipeline vs GPS traces");
+  Table t({"tracker", "segments", "mean |error| (km/h)", "p90 |error|",
+           "phone power (mW)"});
+  t.add_row({"cellular + beeps (this system)", std::to_string(cellular_segments),
+             fmt(cellular_err.mean(), 2), fmt(cellular_err.max(), 2),
+             fmt(power.mean_power_mw(htc, SensorConfig::kCellularMicGoertzel), 0)});
+  t.add_row({"GPS traces (0.5 Hz)", std::to_string(gps_segments),
+             fmt(gps_err.mean(), 2), fmt(gps_err.max(), 2),
+             fmt(power.mean_power_mw(htc, SensorConfig::kGpsMicGoertzel), 0)});
+  t.print(std::cout);
+  std::cout << "(paper: GPS medians 68 m error on buses and ~340 mW receiver "
+               "draw; cellular hints are near-free and more reliable for "
+               "stop-level tracking)\n";
+}
+
+void BM_GpsEstimateRun(benchmark::State& state) {
+  const Testbed& bed = testbed();
+  const SegmentCatalog catalog(bed.world.city());
+  const GpsTracker gps(catalog);
+  const BusRoute& route = *bed.world.city().route_by_name("79", 0);
+  Rng rng(42);
+  const BusRun run = bed.world.buses().simulate_run(
+      route, at_clock(0, 9, 0), {{1, 1}}, {}, 600.0, rng, true);
+  const auto fixes = bed.world.gps_trace(run, 2.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gps.estimate(route, fixes));
+  }
+}
+BENCHMARK(BM_GpsEstimateRun)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

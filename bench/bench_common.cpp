@@ -1,0 +1,34 @@
+#include "bench_common.h"
+
+namespace bussense::bench {
+
+const Testbed& testbed() {
+  static const Testbed bed = [] {
+    Testbed b;
+    Rng survey_rng(2024);
+    b.database = build_stop_database(
+        b.world.city(),
+        [&](StopId stop, int run) {
+          return b.world.scan_stop(stop, survey_rng, run % 2 == 1);
+        },
+        5);
+    return b;
+  }();
+  return bed;
+}
+
+const std::vector<std::string>& figure2_routes() {
+  static const std::vector<std::string> kRoutes = {"79", "99", "243", "252",
+                                                   "257"};
+  return kRoutes;
+}
+
+int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bussense::bench

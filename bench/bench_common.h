@@ -1,0 +1,32 @@
+// Shared fixture for the benchmark/reproduction harness.
+//
+// Every bench binary prints the rows/series of one paper table or figure
+// first (so `./bench_*` regenerates the experiment), then runs its
+// google-benchmark timings. The world and the surveyed fingerprint database
+// are built once per process.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "core/server.h"
+#include "core/stop_database.h"
+#include "trafficsim/world.h"
+
+namespace bussense::bench {
+
+struct Testbed {
+  World world;
+  StopDatabase database;
+};
+
+/// The default 7 km x 4 km world with a 5-run mixed-condition survey DB.
+const Testbed& testbed();
+
+/// Names of the five routes used in the paper's Figure 2 feasibility study.
+const std::vector<std::string>& figure2_routes();
+
+/// Prints the banner, then initialises and runs google-benchmark with the
+/// remaining CLI arguments. Returns the process exit code.
+int run_benchmarks(int argc, char** argv);
+
+}  // namespace bussense::bench

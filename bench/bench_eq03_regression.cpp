@@ -1,0 +1,109 @@
+// Equation 3 — regressing the bus→automobile coefficient b.
+//
+// Paper: ATT = a + b·BTT with a = length/free-speed; linear regression of
+// the experimental data puts b within [0.3, 0.8] for most road segments and
+// the system fixes b = 0.5. We regress b per segment from simulated bus
+// runs against ground-truth automobile travel times (our reconstruction
+// multiplies b into the congestion component of the bus running time — see
+// travel_estimator.h).
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace bussense::bench {
+namespace {
+
+void report() {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  const SegmentCatalog catalog(city);
+  const TravelEstimator est(catalog);
+  Rng rng(13);
+
+  // Gather (BTT excess, ATT excess) pairs per segment over one day of runs
+  // on the study routes.
+  std::map<SegmentKey, std::pair<std::vector<double>, std::vector<double>>,
+           decltype([](const SegmentKey& a, const SegmentKey& b) {
+             return a.from < b.from || (a.from == b.from && a.to < b.to);
+           })>
+      samples;
+  for (const std::string& name : figure2_routes()) {
+    const BusRoute* route = city.route_by_name(name, 0);
+    for (int k = 0; k < 30; ++k) {
+      const SimTime depart = at_clock(0, 7, 0) + k * 25 * kMinute;
+      if (depart > at_clock(0, 20, 0)) break;
+      // Riders at every stop so every visit is served (clean BTTs).
+      std::map<int, int> extra;
+      for (std::size_t i = 0; i < route->stop_count(); ++i) {
+        extra[static_cast<int>(i)] = 1;
+      }
+      const BusRun run = bed.world.buses().simulate_run(*route, depart, extra,
+                                                        {}, 600.0, rng);
+      for (std::size_t i = 0; i + 1 < run.visits.size(); ++i) {
+        const StopVisit& from = run.visits[i];
+        const StopVisit& to = run.visits[i + 1];
+        if (!from.served || !to.served) continue;
+        const SegmentKey key{city.effective_stop(from.stop),
+                             city.effective_stop(to.stop)};
+        const SpanInfo* info = catalog.adjacent(key);
+        if (!info) continue;
+        const double btt = to.arrival - from.departure;
+        const double btt_excess =
+            btt - est.free_bus_time_s(info->length_m, info->free_speed_kmh);
+        const double att_true =
+            info->length_m / 1000.0 /
+            bed.world.traffic().mean_car_speed_kmh(
+                city.route(info->route), info->arc_from, info->arc_to,
+                0.5 * (from.departure + to.arrival)) *
+            3600.0;
+        const double a = info->length_m / 1000.0 / info->free_speed_kmh * 3600.0;
+        if (btt_excess > 5.0) {  // regression needs congestion signal
+          samples[key].first.push_back(btt_excess);
+          samples[key].second.push_back(att_true - a);
+        }
+      }
+    }
+  }
+
+  EmpiricalDistribution bs;
+  for (const auto& [key, xy] : samples) {
+    (void)key;
+    if (xy.first.size() < 8) continue;
+    const double b =
+        regression_slope_fixed_intercept(xy.first, xy.second, 0.0);
+    bs.add(b);
+  }
+
+  print_banner(std::cout, "Equation 3: per-segment regressed coefficient b");
+  Table t({"statistic", "value"});
+  t.add_row({"segments regressed", std::to_string(bs.count())});
+  t.add_row({"median b", fmt(bs.median(), 2)});
+  t.add_row({"p10 b", fmt(bs.percentile(10), 2)});
+  t.add_row({"p90 b", fmt(bs.percentile(90), 2)});
+  t.add_row({"fraction in paper band [0.3, 0.8]",
+             fmt(bs.cdf(0.8) - bs.cdf(0.3), 2)});
+  t.print(std::cout);
+  std::cout << "(paper: b in [0.3, 0.8] for most segments; system fixes "
+               "b = 0.5)\n";
+}
+
+void BM_FreeBusTime(benchmark::State& state) {
+  const Testbed& bed = testbed();
+  const SegmentCatalog catalog(bed.world.city());
+  const TravelEstimator est(catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.att_seconds(90.0, 400.0, 50.0));
+  }
+}
+BENCHMARK(BM_FreeBusTime);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

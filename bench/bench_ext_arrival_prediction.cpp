@@ -1,0 +1,95 @@
+// Extension E2 — bus arrival prediction from the live traffic map.
+//
+// The authors' companion MobiSys'12 system predicts bus arrivals from
+// participatory sensing; here the capability derives from the traffic
+// server: invert Eq. 3 per segment. The bench scores predicted vs actual
+// (simulated) arrival times by prediction horizon, with live traffic
+// against a timetable-style free-flow baseline.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/arrival_predictor.h"
+
+namespace bussense::bench {
+namespace {
+
+void report() {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  TrafficServer server(city, bed.database);
+  Rng rng(71);
+
+  // Prime the traffic map with a morning of intensive riding.
+  auto day = bed.world.simulate_day(0, 3.0, rng);
+  std::sort(day.trips.begin(), day.trips.end(),
+            [](const AnnotatedTrip& a, const AnnotatedTrip& b) {
+              return a.upload.samples.back().time < b.upload.samples.back().time;
+            });
+  for (const AnnotatedTrip& trip : day.trips) {
+    if (trip.upload.samples.back().time > at_clock(0, 9, 30)) break;
+    server.process_trip(trip.upload);
+  }
+  const SimTime now = at_clock(0, 9, 35);
+  server.advance_time(now);
+
+  // Predict fresh runs on several routes and compare with their reality.
+  const ArrivalPredictor live(server.catalog());
+  std::map<int, RunningStats> live_err, free_err;  // horizon -> |error|
+  const SpeedFusion empty_fusion;
+  for (const std::string name : {"79", "99", "243", "252"}) {
+    const BusRoute& route = *city.route_by_name(name, 0);
+    std::map<int, int> all_stops;
+    for (std::size_t i = 0; i < route.stop_count(); ++i) {
+      all_stops[static_cast<int>(i)] = 1;
+    }
+    const BusRun actual = bed.world.buses().simulate_run(
+        route, now, all_stops, {}, 600.0, rng);
+    const SimTime depart0 = actual.visits[0].departure;
+    const auto live_pred =
+        live.predict(route, 0, depart0, server.fusion(), now);
+    const auto free_pred =
+        live.predict(route, 0, depart0, empty_fusion, now);
+    for (std::size_t k = 0; k < live_pred.size(); ++k) {
+      const int horizon = live_pred[k].stop_index;  // stops ahead
+      const SimTime truth =
+          actual.visits[static_cast<std::size_t>(horizon)].arrival;
+      live_err[horizon].add(std::abs(live_pred[k].eta - truth));
+      free_err[horizon].add(std::abs(free_pred[k].eta - truth));
+    }
+  }
+
+  print_banner(std::cout,
+               "Extension E2: arrival prediction error by horizon (9:35 AM)");
+  Table t({"stops ahead", "live-traffic MAE (s)", "free-flow MAE (s)"});
+  for (const int horizon : {1, 3, 5, 8, 12, 16}) {
+    if (!live_err.count(horizon)) continue;
+    t.add_row(std::to_string(horizon),
+              {live_err[horizon].mean(), free_err[horizon].mean()}, 1);
+  }
+  t.print(std::cout);
+  std::cout << "(live traffic should beat the timetable, most at long "
+               "horizons through congested segments)\n";
+}
+
+void BM_PredictRoute(benchmark::State& state) {
+  const Testbed& bed = testbed();
+  const SegmentCatalog catalog(bed.world.city());
+  const ArrivalPredictor predictor(catalog);
+  const BusRoute& route = *bed.world.city().route_by_name("79", 0);
+  const SpeedFusion fusion;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict(route, 0, 0.0, fusion, 0.0));
+  }
+}
+BENCHMARK(BM_PredictRoute)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

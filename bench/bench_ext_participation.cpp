@@ -1,0 +1,92 @@
+// Extension E4 — participation study (paper Section VI, future work).
+//
+// "How to encourage bus riders participation for consistent and good
+// performance is important. At the initial stage, we may encourage the bus
+// drivers to install our app to bootstrap the system." This bench sweeps
+// the participant count and adds the driver-bootstrap mode (one phone per
+// bus), reporting live map coverage and estimation error for each level.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace bussense::bench {
+namespace {
+
+struct Outcome {
+  std::size_t trips = 0;
+  double coverage = 0.0;
+  double mae = 0.0;
+};
+
+Outcome evaluate(const Testbed& bed, const std::vector<AnnotatedTrip>& trips) {
+  TrafficServer server(bed.world.city(), bed.database);
+  Outcome out;
+  RunningStats err;
+  for (const AnnotatedTrip& trip : trips) {
+    const auto report = server.process_trip(trip.upload);
+    for (const SpeedEstimate& e : report.estimates) {
+      const SpanInfo* info = server.catalog().adjacent(e.segment);
+      if (!info) continue;
+      const double truth = bed.world.traffic().mean_car_speed_kmh(
+          bed.world.city().route(info->route), info->arc_from, info->arc_to,
+          e.time);
+      err.add(std::abs(e.att_speed_kmh - truth));
+    }
+  }
+  server.advance_time(at_clock(0, 19, 0));
+  const TrafficMap evening = server.snapshot(at_clock(0, 18, 30), 2.0 * kHour);
+  out.trips = trips.size();
+  out.coverage = evening.coverage_ratio(server.catalog());
+  out.mae = err.count() > 0 ? err.mean() : 0.0;
+  return out;
+}
+
+void report() {
+  const Testbed& bed = testbed();
+  print_banner(std::cout,
+               "Extension E4: participation levels vs coverage and accuracy");
+  Table t({"deployment", "trips/day", "evening live coverage (%)",
+           "estimate MAE (km/h)"});
+  for (const int participants : {5, 10, 22, 50}) {
+    WorldConfig cfg = bed.world.config();
+    cfg.participant_count = participants;
+    // Reuse the shared world's radio/city by keeping the same seed; only
+    // the participant population differs.
+    const World world(cfg);
+    Rng rng(81);
+    const auto day = world.simulate_day(0, 1.0, rng);
+    const Outcome o = evaluate(bed, day.trips);
+    t.add_row({std::to_string(participants) + " riders",
+               std::to_string(o.trips), fmt(100.0 * o.coverage, 1),
+               fmt(o.mae, 2)});
+  }
+  {
+    Rng rng(82);
+    const auto trips = bed.world.simulate_driver_day(0, rng);
+    const Outcome o = evaluate(bed, trips);
+    t.add_row({"driver bootstrap (all buses)", std::to_string(o.trips),
+               fmt(100.0 * o.coverage, 1), fmt(o.mae, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "(coverage grows with participation; driver bootstrap saturates the "
+               "bus-covered half of the network)\n";
+}
+
+void BM_DriverDay(benchmark::State& state) {
+  const Testbed& bed = testbed();
+  Rng rng(83);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.world.simulate_driver_day(0, rng));
+  }
+}
+BENCHMARK(BM_DriverDay)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

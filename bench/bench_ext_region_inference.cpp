@@ -1,0 +1,81 @@
+// Extension E1 (paper future work) — region-level traffic inference.
+//
+// "Deriving the overall traffic of a region from the bus covered road
+// segments": the traffic map observes the bus-covered ~50% of road length;
+// the region inference extends it to every link by congestion transfer.
+// This bench holds the uncovered links out (their ground truth is known to
+// the simulator only) and scores the inference against naive baselines.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/region_inference.h"
+
+namespace bussense::bench {
+namespace {
+
+void report() {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  TrafficServer server(city, bed.database);
+  Rng rng(61);
+  auto day = bed.world.simulate_day(0, 3.0, rng);
+  for (const AnnotatedTrip& trip : day.trips) server.process_trip(trip.upload);
+
+  const RegionInference inference(city, server.catalog());
+  print_banner(std::cout,
+               "Extension E1: region-level inference on uncovered links");
+  Table t({"time", "links inferred", "MAE inferred (km/h)",
+           "MAE free-speed baseline", "MAE global-mean baseline"});
+  for (const int hour : {9, 13, 18}) {
+    const SimTime now = at_clock(0, hour, 0);
+    server.advance_time(now);
+    const TrafficMap map = server.snapshot(now, 2.0 * kHour);
+    const auto estimates = inference.infer(map);
+
+    // Global mean of observed speeds (the crudest city-wide summary).
+    RunningStats observed;
+    for (const LinkTrafficEstimate& e : estimates) {
+      if (e.observed) observed.add(e.speed_kmh);
+    }
+    RunningStats err_inferred, err_free, err_mean;
+    for (const LinkTrafficEstimate& e : estimates) {
+      if (e.observed) continue;
+      const double truth = bed.world.traffic().car_speed_kmh(e.link, now);
+      const double free = city.network().link(e.link).free_speed_kmh;
+      err_inferred.add(std::abs(e.speed_kmh - truth));
+      err_free.add(std::abs(free - truth));
+      err_mean.add(std::abs(observed.mean() - truth));
+    }
+    t.add_row(format_clock(now),
+              {static_cast<double>(err_inferred.count()), err_inferred.mean(),
+               err_free.mean(), err_mean.mean()});
+  }
+  t.print(std::cout);
+  std::cout << "(congestion transfer should beat both baselines, most "
+               "clearly at peak hours)\n";
+}
+
+void BM_RegionInfer(benchmark::State& state) {
+  const Testbed& bed = testbed();
+  TrafficServer server(bed.world.city(), bed.database);
+  Rng rng(62);
+  auto day = bed.world.simulate_day(0, 1.0, rng);
+  for (const AnnotatedTrip& trip : day.trips) server.process_trip(trip.upload);
+  server.advance_time(at_clock(0, 20, 0));
+  const TrafficMap map = server.snapshot(at_clock(0, 18, 0), 2.0 * kHour);
+  const RegionInference inference(bed.world.city(), server.catalog());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inference.infer(map));
+  }
+}
+BENCHMARK(BM_RegionInfer)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,59 @@
+// Figure 1 — GPS localisation error in downtown streets.
+//
+// Paper: HTC Sensation fixes in downtown Singapore; median error ~40 m
+// stationary and ~68 m moving on buses; 90th percentiles ~75 m / ~130 m.
+// The measurement motivates abandoning GPS for cellular hints.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "sensing/gps_model.h"
+
+namespace bussense::bench {
+namespace {
+
+void report() {
+  print_banner(std::cout, "Figure 1: GPS localisation error CDF (downtown)");
+  const GpsModel gps;
+  Rng rng(1);
+  EmpiricalDistribution stationary, mobile;
+  const int fixes = 20000;
+  for (int i = 0; i < fixes; ++i) {
+    stationary.add(gps.sample_error_m(GpsMode::kStationary, rng));
+    mobile.add(gps.sample_error_m(GpsMode::kMobileOnBus, rng));
+  }
+
+  Table cdf({"error (m)", "CDF stationary", "CDF mobile-on-bus"});
+  for (double x = 0.0; x <= 300.0; x += 20.0) {
+    cdf.add_row(fmt(x, 0), {stationary.cdf(x), mobile.cdf(x)});
+  }
+  cdf.print(std::cout);
+
+  Table stats({"series", "median (m)", "p90 (m)", "paper median", "paper p90"});
+  stats.add_row({"stationary", fmt(stationary.median(), 1),
+                 fmt(stationary.percentile(90), 1), "~40", "~75"});
+  stats.add_row({"mobile on bus", fmt(mobile.median(), 1),
+                 fmt(mobile.percentile(90), 1), "~68", "~130"});
+  stats.print(std::cout);
+  std::cout << "(paper p90 digits reconstructed from OCR-damaged text; "
+               "see EXPERIMENTS.md)\n";
+}
+
+void BM_GpsFix(benchmark::State& state) {
+  const GpsModel gps;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gps.sample_fix(Point{1000.0, 2000.0}, GpsMode::kMobileOnBus, rng));
+  }
+}
+BENCHMARK(BM_GpsFix);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

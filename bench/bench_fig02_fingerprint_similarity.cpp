@@ -1,0 +1,167 @@
+// Figure 2(b)/(c) — feasibility of cellular fingerprints as bus-stop
+// signatures.
+//
+// Paper (86 stops on 5 routes): self-similarity of same-stop fingerprints
+// is high (~90% of pairs score >= 3, >50% score >= 4); cross-similarity of
+// different stops is low (>=70% score 0, >90% below 2; merging opposite-
+// side twins, >94% below 2).
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/matching.h"
+#include "core/stop_database.h"
+
+namespace bussense::bench {
+namespace {
+
+// Figure 2(a): the measured bus routes and their stops, as a character map
+// (one letter per route, 'o' where stops of several routes coincide).
+void print_route_map(const City& city) {
+  print_banner(std::cout, "Figure 2(a): measured bus routes (5-route study)");
+  const int cols = 100, rows = 24;
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+  const BoundingBox& region = city.region();
+  auto plot = [&](Point p, char c) {
+    const int x = static_cast<int>((p.x - region.min.x) / region.width() * (cols - 1));
+    const int y = static_cast<int>((p.y - region.min.y) / region.height() * (rows - 1));
+    if (x < 0 || x >= cols || y < 0 || y >= rows) return;
+    char& cell = grid[static_cast<std::size_t>(rows - 1 - y)][static_cast<std::size_t>(x)];
+    cell = (cell == ' ' || cell == c) ? c : 'o';
+  };
+  char label = 'A';
+  for (const std::string& name : figure2_routes()) {
+    const BusRoute* route = city.route_by_name(name, 0);
+    for (double arc = 0.0; arc < route->length(); arc += 60.0) {
+      plot(route->path().point_at(arc), label);
+    }
+    std::cout << "  " << label << " = route " << name << "  ("
+              << route->stop_count() << " stops, "
+              << fmt(route->length() / 1000.0, 1) << " km)\n";
+    ++label;
+  }
+  for (const std::string& row : grid) std::cout << row << '\n';
+}
+
+void report() {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  Rng rng(11);
+  print_route_map(city);
+
+  // Collect 8 survey runs per effective stop of the 5 study routes.
+  std::set<StopId> eff_stops;
+  std::map<std::string, std::set<StopId>> by_route;
+  for (const std::string& name : figure2_routes()) {
+    for (int dir = 0; dir < 2; ++dir) {
+      const BusRoute* route = city.route_by_name(name, dir);
+      for (const RouteStop& rs : route->stops()) {
+        const StopId eff = city.effective_stop(rs.stop);
+        eff_stops.insert(eff);
+        by_route[name].insert(eff);
+      }
+    }
+  }
+  std::map<StopId, std::vector<Fingerprint>> runs;
+  for (StopId s : eff_stops) {
+    for (int r = 0; r < 8; ++r) {
+      runs[s].push_back(bed.world.scan_stop(s, rng, r % 2 == 1));
+    }
+  }
+
+  print_banner(std::cout,
+               "Figure 2(b): self-similarity of same-stop fingerprints");
+  Table self_table({"route", "P(score>=3)", "P(score>=4)", "median score"});
+  for (const std::string& name : figure2_routes()) {
+    EmpiricalDistribution d;
+    for (StopId s : by_route[name]) {
+      const auto& v = runs[s];
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        for (std::size_t j = i + 1; j < v.size(); ++j) {
+          d.add(similarity(v[i], v[j]));
+        }
+      }
+    }
+    self_table.add_row("route " + name,
+                       {1.0 - d.cdf(2.999), 1.0 - d.cdf(3.999), d.median()});
+  }
+  self_table.print(std::cout);
+  std::cout << "(paper: ~90% of scores >= 3, >50% >= 4)\n";
+
+  print_banner(std::cout,
+               "Figure 2(c): cross-similarity of different stops");
+  // Overall: every physical stop separately (twins separate); effective:
+  // twins merged. Representatives = medoid of the 8 runs.
+  std::map<StopId, Fingerprint> rep;
+  for (StopId s : eff_stops) rep[s] = select_representative(runs[s]);
+  std::set<StopId> raw_stops;
+  for (const std::string& name : figure2_routes()) {
+    for (int dir = 0; dir < 2; ++dir) {
+      for (const RouteStop& rs : city.route_by_name(name, dir)->stops()) {
+        raw_stops.insert(rs.stop);
+      }
+    }
+  }
+  std::map<StopId, Fingerprint> raw_rep;
+  for (StopId s : raw_stops) raw_rep[s] = bed.world.scan_stop(s, rng, false);
+
+  EmpiricalDistribution overall, effective;
+  {
+    std::vector<StopId> ids(raw_stops.begin(), raw_stops.end());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (std::size_t j = i + 1; j < ids.size(); ++j) {
+        overall.add(similarity(raw_rep[ids[i]], raw_rep[ids[j]]));
+      }
+    }
+  }
+  {
+    std::vector<StopId> ids(eff_stops.begin(), eff_stops.end());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (std::size_t j = i + 1; j < ids.size(); ++j) {
+        effective.add(similarity(rep[ids[i]], rep[ids[j]]));
+      }
+    }
+  }
+  Table cross({"series", "P(score=0)", "P(score<2)", "P(score<3)", "pairs"});
+  cross.add_row("overall (twins separate)",
+                {overall.cdf(0.0), overall.cdf(1.999), overall.cdf(2.999),
+                 static_cast<double>(overall.count())}, 3);
+  cross.add_row("effective (twins merged)",
+                {effective.cdf(0.0), effective.cdf(1.999), effective.cdf(2.999),
+                 static_cast<double>(effective.count())}, 3);
+  cross.print(std::cout);
+  std::cout << "(paper: >=70% score 0; >90% below 2 overall; >94% below 2 "
+               "effective)\n";
+  std::cout << "stops on 5 routes: " << raw_stops.size() << " physical, "
+            << eff_stops.size() << " effective (paper: 86 surveyed)\n";
+}
+
+void BM_Similarity(benchmark::State& state) {
+  const Fingerprint a{{1, 2, 3, 4, 5, 6, 7}};
+  const Fingerprint b{{1, 9, 3, 5, 7, 8}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bussense::similarity(a, b));
+  }
+}
+BENCHMARK(BM_Similarity);
+
+void BM_ScanFingerprint(benchmark::State& state) {
+  const Testbed& bed = testbed();
+  Rng rng(12);
+  const StopId stop = bed.world.city().routes()[0].stops()[3].stop;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bed.world.scan_stop(stop, rng, true));
+  }
+}
+BENCHMARK(BM_ScanFingerprint);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

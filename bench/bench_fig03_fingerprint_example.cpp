@@ -1,0 +1,60 @@
+// Figure 3 — an example area with the cellular fingerprints of ~15 stops.
+//
+// Paper: ordered cell-ID sets of 15 bus stops in one corridor; the sets are
+// highly distinct between stops, and the stops segment the road network.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/matching.h"
+
+namespace bussense::bench {
+namespace {
+
+void report() {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  Rng rng(3);
+  print_banner(std::cout,
+               "Figure 3: example corridor fingerprints (route 79, first 15 stops)");
+  const BusRoute* route = city.route_by_name("79", 0);
+  Table t({"stop", "position (m)", "cell IDs by descending RSS"});
+  std::vector<Fingerprint> fps;
+  const std::size_t n = std::min<std::size_t>(15, route->stop_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    const BusStop& stop = city.stop(route->stops()[i].stop);
+    const Fingerprint fp = bed.world.scan_stop(stop.id, rng, false);
+    fps.push_back(fp);
+    t.add_row({stop.name,
+               fmt(stop.position.x, 0) + "," + fmt(stop.position.y, 0),
+               to_string(fp)});
+  }
+  t.print(std::cout);
+
+  // Pairwise similarity of neighbouring stops in the example.
+  Table sim({"pair", "similarity", "common cells"});
+  for (std::size_t i = 0; i + 1 < fps.size(); ++i) {
+    sim.add_row({"stop " + std::to_string(i) + " vs " + std::to_string(i + 1),
+                 fmt(similarity(fps[i], fps[i + 1]), 2),
+                 std::to_string(common_cell_count(fps[i], fps[i + 1]))});
+  }
+  sim.print(std::cout);
+  std::cout << "(paper: neighbouring sets differ strongly; high-similarity "
+               "pairs are opposite-side twins)\n";
+}
+
+void BM_FingerprintToString(benchmark::State& state) {
+  const Fingerprint fp{{2134, 3486, 3893, 1122, 2112, 3484, 1129}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bussense::to_string(fp));
+  }
+}
+BENCHMARK(BM_FingerprintToString);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

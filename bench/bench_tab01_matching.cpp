@@ -1,0 +1,102 @@
+// Table I — the modified Smith–Waterman matching instance, plus the
+// mismatch-penalty sweep of Section III-C.1.
+//
+// Paper: upload {1,2,3,4,5} vs database {1,7,3,5} scores 2.4 from 3
+// matches, 1 gap and 1 mismatch; sweeping the penalty from 0.1 to 0.9,
+// 0.3 gives the best matching accuracy.
+#include <iostream>
+#include <set>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/matching.h"
+#include "core/stop_database.h"
+#include "core/stop_matcher.h"
+
+namespace bussense::bench {
+namespace {
+
+void report_instance() {
+  print_banner(std::cout, "Table I: bus stop matching instance");
+  const Fingerprint upload{{1, 2, 3, 4, 5}};
+  const Fingerprint database{{1, 7, 3, 5}};
+  const Alignment a = align(upload, database);
+  Table t({"c_upload", "c_database", "matches", "gaps", "mismatches", "score"});
+  t.add_row({to_string(upload), to_string(database), std::to_string(a.matches),
+             std::to_string(a.gaps), std::to_string(a.mismatches),
+             fmt(a.score, 1)});
+  t.print(std::cout);
+  std::cout << "(paper: 3 matches, 1 gap, 1 mismatch, score 2.4)\n";
+}
+
+void report_penalty_sweep() {
+  print_banner(std::cout,
+               "Section III-C.1: mismatch-penalty sweep (matching accuracy)");
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  Rng rng(41);
+
+  // Survey samples for a subset of stops; evaluate identification accuracy
+  // against the full database under each penalty setting.
+  std::vector<std::pair<StopId, Fingerprint>> probes;
+  for (const BusStop& stop : city.stops()) {
+    if (city.effective_stop(stop.id) != stop.id) continue;
+    if (stop.id % 3 != 0) continue;  // subsample for speed
+    for (int r = 0; r < 4; ++r) {
+      probes.emplace_back(stop.id, bed.world.scan_stop(stop.id, rng, true));
+    }
+  }
+
+  Table t({"penalty", "accuracy (%)"});
+  double best_penalty = 0.0, best_acc = -1.0;
+  for (double penalty = 0.1; penalty <= 0.91; penalty += 0.1) {
+    StopMatcherConfig cfg;
+    cfg.matching.mismatch_penalty = penalty;
+    cfg.matching.gap_penalty = penalty;
+    const StopMatcher matcher(bed.database, cfg);
+    int correct = 0;
+    for (const auto& [stop, fp] : probes) {
+      const auto m = matcher.match(fp);
+      if (m && m->stop == stop) ++correct;
+    }
+    const double acc = 100.0 * correct / static_cast<double>(probes.size());
+    t.add_row(fmt(penalty, 1), {acc}, 2);
+    if (acc > best_acc) {
+      best_acc = acc;
+      best_penalty = penalty;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "best penalty: " << fmt(best_penalty, 1)
+            << " (paper chose 0.3)\n";
+}
+
+void BM_Align(benchmark::State& state) {
+  const Fingerprint upload{{1, 2, 3, 4, 5}};
+  const Fingerprint database{{1, 7, 3, 5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(align(upload, database));
+  }
+}
+BENCHMARK(BM_Align);
+
+void BM_MatchAgainstFullDatabase(benchmark::State& state) {
+  const Testbed& bed = testbed();
+  const StopMatcher matcher(bed.database);
+  Rng rng(42);
+  const Fingerprint fp =
+      bed.world.scan_stop(bed.world.city().routes()[0].stops()[5].stop, rng, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(fp));
+  }
+}
+BENCHMARK(BM_MatchAgainstFullDatabase);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report_instance();
+  bussense::bench::report_penalty_sweep();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,82 @@
+// Table III — phone power consumption by sensor configuration (mW).
+//
+// Paper (Monsoon monitor, 10-minute sessions, screen off):
+//   HTC Sensation:  70 / 72 / 340 / 82 / 447
+//   Nexus One:      84 / 85 / 333 / 96 / 443
+// for no sensors / cellular 1 Hz / GPS / cellular+mic(Goertzel) /
+// GPS+mic(Goertzel). Cellular sampling is ~2 mW; GPS is ~270 mW.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "sensing/power_model.h"
+
+namespace bussense::bench {
+namespace {
+
+void report() {
+  print_banner(std::cout, "Table III: power consumption comparison (mW)");
+  const PowerModel power;
+  Rng rng(31);
+  const std::vector<SensorConfig> configs = {
+      SensorConfig::kNoSensors, SensorConfig::kCellular1Hz, SensorConfig::kGps,
+      SensorConfig::kCellularMicGoertzel, SensorConfig::kGpsMicGoertzel};
+  Table t({"sensor setting", "HTC Sensation", "Nexus One", "paper HTC",
+           "paper Nexus"});
+  const std::vector<std::pair<std::string, std::string>> paper = {
+      {"70", "84"}, {"72", "85"}, {"340", "333"}, {"82", "96"}, {"447", "443"}};
+  const PhoneProfile htc = htc_sensation_profile();
+  const PhoneProfile nexus = nexus_one_profile();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    // Simulated 10-minute Monsoon sessions, mean (relative std).
+    RunningStats h, n;
+    for (int s = 0; s < 20; ++s) {
+      h.add(power.measure_session_mw(htc, configs[i], 600.0, rng));
+      n.add(power.measure_session_mw(nexus, configs[i], 600.0, rng));
+    }
+    auto cell = [](const RunningStats& s) {
+      return fmt(s.mean(), 0) + " (" + fmt(100.0 * s.stddev() / s.mean(), 0) +
+             "%)";
+    };
+    t.add_row({to_string(configs[i]), cell(h), cell(n), paper[i].first,
+               paper[i].second});
+  }
+  t.print(std::cout);
+
+  print_banner(std::cout, "Section IV-D: Goertzel vs FFT app power");
+  Table g({"front end", "DSP MAC/s", "CPU power HTC (mW)",
+           "app total HTC (mW)"});
+  g.add_row({"Goertzel (M=2 tones)", fmt(power.dsp_mac_rate(false), 0),
+             fmt(power.dsp_power_mw(htc, false), 1),
+             fmt(power.mean_power_mw(htc, SensorConfig::kCellularMicGoertzel), 1)});
+  g.add_row({"FFT (full spectrum)", fmt(power.dsp_mac_rate(true), 0),
+             fmt(power.dsp_power_mw(htc, true), 1),
+             fmt(power.mean_power_mw(htc, SensorConfig::kCellularMicFft), 1)});
+  g.print(std::cout);
+  std::cout << "saving from Goertzel: "
+            << fmt(power.mean_power_mw(htc, SensorConfig::kCellularMicFft) -
+                       power.mean_power_mw(htc,
+                                           SensorConfig::kCellularMicGoertzel),
+                   1)
+            << " mW (paper: ~60 mW; see EXPERIMENTS.md for the OCR note)\n";
+}
+
+void BM_PowerSession(benchmark::State& state) {
+  const PowerModel power;
+  const PhoneProfile htc = htc_sensation_profile();
+  Rng rng(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power.measure_session_mw(
+        htc, SensorConfig::kGpsMicGoertzel, 600.0, rng));
+  }
+}
+BENCHMARK(BM_PowerSession);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,96 @@
+// arrival_board: the bus-stop departure board a rider would actually see.
+//
+// Builds the live traffic map from a morning of participatory trips, then
+// prints predicted arrival times of the next buses at a chosen stop —
+// the companion capability of the authors' MobiSys'12 system, derived here
+// from the traffic server by inverting the Eq. 3 model per segment.
+//
+// Run:  ./arrival_board [route-name] [stop-index] [seed]
+#include <algorithm>
+#include <iostream>
+
+#include "core/arrival_predictor.h"
+#include "core/server.h"
+#include "core/stop_database.h"
+#include "trafficsim/world.h"
+
+using namespace bussense;
+
+int main(int argc, char** argv) {
+  const std::string route_name = argc > 1 ? argv[1] : "243";
+  const int stop_index = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
+
+  World world;
+  const City& city = world.city();
+  const BusRoute* route = city.route_by_name(route_name, 0);
+  if (route == nullptr ||
+      stop_index >= static_cast<int>(route->stop_count()) - 1) {
+    std::cerr << "unknown route or stop index\n";
+    return 1;
+  }
+
+  Rng survey(2024);
+  StopDatabase db = build_stop_database(
+      city, [&](StopId s, int run) { return world.scan_stop(s, survey, run % 2); },
+      5);
+  TrafficServer server(city, std::move(db));
+
+  // A morning of rider uploads feeds the map.
+  Rng rng(seed);
+  auto day = world.simulate_day(0, 3.0, rng);
+  std::sort(day.trips.begin(), day.trips.end(),
+            [](const AnnotatedTrip& a, const AnnotatedTrip& b) {
+              return a.upload.samples.back().time < b.upload.samples.back().time;
+            });
+  const SimTime now = at_clock(0, 8, 45);
+  for (const AnnotatedTrip& trip : day.trips) {
+    if (trip.upload.samples.back().time > now) break;
+    server.process_trip(trip.upload);
+  }
+  server.advance_time(now);
+
+  const ArrivalPredictor predictor(server.catalog());
+  const BusStop& here = city.stop(route->stops()[stop_index].stop);
+  std::cout << "=== " << here.name << "  (route " << route_name
+            << ", stop " << stop_index << ")  " << format_clock(now)
+            << " ===\n\n";
+
+  // Terminal departures on the headway grid, oldest en-route first; show
+  // the next three buses that still reach this stop.
+  std::cout << "next buses on route " << route_name << ":\n";
+  int shown = 0;
+  const double headway = world.config().headway_s;
+  for (SimTime depart = now - 45 * kMinute; depart < now + 3 * headway;
+       depart += headway) {
+    if (shown >= 3) break;
+    const auto predictions =
+        predictor.predict(*route, 0, depart, server.fusion(), now);
+    for (const ArrivalPrediction& p : predictions) {
+      if (p.stop_index != stop_index) continue;
+      if (p.eta >= now) {
+        const double wait_min = (p.eta - now) / 60.0;
+        std::cout << "  bus "
+                  << (depart <= now ? "departed " : "departing ")
+                  << format_clock(depart) << "  ->  due "
+                  << format_clock(p.eta) << "  (" << wait_min << " min, "
+                  << (p.from_live_traffic ? "live traffic" : "timetable")
+                  << ")\n";
+        ++shown;
+      }
+      break;
+    }
+  }
+  if (shown == 0) {
+    std::cout << "  (no bus currently en-route reaches this stop)\n";
+  }
+
+  std::cout << "\ndownstream journey from here (next departing bus):\n";
+  const auto onward =
+      predictor.predict(*route, stop_index, now + 60.0, server.fusion(), now);
+  for (std::size_t k = 0; k < onward.size() && k < 6; ++k) {
+    std::cout << "  " << city.stop(onward[k].stop).name << "  "
+              << format_clock(onward[k].eta) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// offline_pipeline: the deployment workflow across process boundaries.
+//
+// In the real system the war-walk tool, the phones and the backend are
+// separate programs talking through files/uploads. This example exercises
+// that split with the plain-text wire formats:
+//
+//   1. survey  — build the fingerprint database, save it to disk
+//   2. phones  — record a batch of trips, save them to disk
+//   3. server  — load both files and produce the traffic estimates
+//
+// Run:  ./offline_pipeline [workdir]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/serialization.h"
+#include "core/server.h"
+#include "core/stop_database.h"
+#include "trafficsim/world.h"
+
+using namespace bussense;
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir =
+      argc > 1 ? argv[1] : std::filesystem::temp_directory_path() / "bussense";
+  std::filesystem::create_directories(dir);
+  const std::string db_path = (dir / "stops.db").string();
+  const std::string trips_path = (dir / "trips.txt").string();
+
+  World world;
+  const City& city = world.city();
+
+  // --- 1. the survey tool ----------------------------------------------
+  {
+    Rng survey(2024);
+    const StopDatabase db = build_stop_database(
+        city,
+        [&](StopId s, int run) { return world.scan_stop(s, survey, run % 2); },
+        5);
+    save_stop_database(db, db_path);
+    std::cout << "survey: wrote " << db.size() << " stop fingerprints to "
+              << db_path << "\n";
+  }
+
+  // --- 2. the phones -----------------------------------------------------
+  {
+    Rng rng(17);
+    const auto day = world.simulate_day(0, 2.0, rng);
+    std::vector<TripUpload> uploads;
+    uploads.reserve(day.trips.size());
+    for (const AnnotatedTrip& trip : day.trips) uploads.push_back(trip.upload);
+    std::ofstream os(trips_path);
+    save_trips(uploads, os);
+    std::cout << "phones: queued " << uploads.size() << " trips to "
+              << trips_path << "\n";
+  }
+
+  // --- 3. the backend server --------------------------------------------
+  {
+    TrafficServer server(city, load_stop_database(db_path));
+    std::ifstream is(trips_path);
+    const auto uploads = load_trips(is);
+    std::size_t estimates = 0;
+    for (const TripUpload& trip : uploads) {
+      estimates += server.process_trip(trip).estimates.size();
+    }
+    server.advance_time(at_clock(0, 23, 0));
+    const TrafficMap map = server.snapshot(at_clock(0, 18, 0), 3 * kHour);
+    std::cout << "server: processed " << uploads.size() << " trips, "
+              << estimates << " segment estimates, evening map covers "
+              << 100.0 * map.coverage_ratio(server.catalog())
+              << "% of the road network\n";
+  }
+  std::cout << "artifacts left in " << dir << "\n";
+  return 0;
+}

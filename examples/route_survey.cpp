@@ -1,0 +1,82 @@
+// route_survey: the fingerprint war-walk tool.
+//
+// Surveys every stop of one public route, shows the collected cellular
+// fingerprints, builds the database entries, and reports how reliably the
+// stops of that route are identified afterwards (paper Table II, for one
+// route).
+//
+// Run:  ./route_survey [route-name] [runs] [seed]      e.g. ./route_survey 79 8
+#include <iostream>
+#include <map>
+
+#include "core/stop_database.h"
+#include "core/stop_matcher.h"
+#include "trafficsim/world.h"
+
+using namespace bussense;
+
+int main(int argc, char** argv) {
+  const std::string route_name = argc > 1 ? argv[1] : "79";
+  const int runs = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+
+  World world;
+  const City& city = world.city();
+  const BusRoute* route = city.route_by_name(route_name, 0);
+  if (route == nullptr) {
+    std::cerr << "unknown route '" << route_name << "'. Known: ";
+    for (const BusRoute& r : city.routes()) {
+      if (r.direction() == 0) std::cerr << r.name() << ' ';
+    }
+    std::cerr << '\n';
+    return 1;
+  }
+
+  Rng rng(seed);
+  std::cout << "surveying route " << route_name << " ("
+            << route->stop_count() << " stops, " << route->length() / 1000.0
+            << " km), " << runs << " runs per stop\n\n";
+
+  // Full-city database so the identification test is realistic.
+  StopDatabase db = build_stop_database(
+      city,
+      [&](StopId s, int run) { return world.scan_stop(s, rng, run % 2 == 1); },
+      runs);
+
+  std::cout << "stop fingerprints (medoid of " << runs << " runs):\n";
+  for (const RouteStop& rs : route->stops()) {
+    const StopId eff = city.effective_stop(rs.stop);
+    const Fingerprint* fp = db.fingerprint_of(eff);
+    std::cout << "  arc " << static_cast<int>(rs.arc_pos) << " m  "
+              << city.stop(rs.stop).name << "  ["
+              << (fp ? to_string(*fp) : "<none>") << "]\n";
+  }
+
+  // Identification dry run: fresh in-bus scans against the database.
+  const StopMatcher matcher(db);
+  int total = 0, correct = 0;
+  std::map<std::string, int> confusions;
+  for (const RouteStop& rs : route->stops()) {
+    const StopId eff = city.effective_stop(rs.stop);
+    for (int k = 0; k < 7; ++k) {
+      const auto m = matcher.match(world.scan_stop(rs.stop, rng, true));
+      ++total;
+      if (m && m->stop == eff) {
+        ++correct;
+      } else if (m) {
+        ++confusions[city.stop(rs.stop).name + " -> " + city.stop(m->stop).name];
+      } else {
+        ++confusions[city.stop(rs.stop).name + " -> (rejected)"];
+      }
+    }
+  }
+  std::cout << "\nidentification: " << correct << "/" << total << " correct ("
+            << 100.0 * correct / total << "%)\n";
+  if (!confusions.empty()) {
+    std::cout << "confusions:\n";
+    for (const auto& [what, count] : confusions) {
+      std::cout << "  " << what << "  x" << count << '\n';
+    }
+  }
+  return 0;
+}

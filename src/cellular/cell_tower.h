@@ -1,0 +1,20 @@
+// Cell tower description.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geo.h"
+
+namespace bussense {
+
+/// GSM/UMTS cell identity as reported by the phone's modem. The simulator
+/// assigns 4-digit-style IDs reminiscent of the paper's Figure 3 examples.
+using CellId = std::int32_t;
+
+struct CellTower {
+  CellId id = 0;
+  Point position;
+  double tx_power_dbm = 37.0;  ///< effective radiated power at the reference distance
+};
+
+}  // namespace bussense

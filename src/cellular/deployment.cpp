@@ -1,0 +1,37 @@
+#include "cellular/deployment.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bussense {
+
+std::vector<CellTower> deploy_towers(const BoundingBox& region,
+                                     const DeploymentConfig& config, Rng& rng) {
+  if (config.spacing_m <= 0.0) {
+    throw std::invalid_argument("deploy_towers: spacing must be positive");
+  }
+  const double x0 = region.min.x - config.margin_m;
+  const double y0 = region.min.y - config.margin_m;
+  const double x1 = region.max.x + config.margin_m;
+  const double y1 = region.max.y + config.margin_m;
+
+  std::vector<CellTower> towers;
+  CellId next_id = config.first_cell_id;
+  const double jitter = config.spacing_m * config.jitter_frac;
+  // Offset odd rows by half a spacing for a roughly hexagonal layout.
+  int row = 0;
+  for (double y = y0; y <= y1; y += config.spacing_m, ++row) {
+    const double row_offset = (row % 2 == 1) ? config.spacing_m / 2.0 : 0.0;
+    for (double x = x0 + row_offset; x <= x1; x += config.spacing_m) {
+      CellTower tower;
+      tower.id = next_id++;
+      tower.position = Point{x + rng.uniform(-jitter, jitter),
+                             y + rng.uniform(-jitter, jitter)};
+      tower.tx_power_dbm = config.tx_power_dbm;
+      towers.push_back(tower);
+    }
+  }
+  return towers;
+}
+
+}  // namespace bussense

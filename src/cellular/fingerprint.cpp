@@ -1,0 +1,41 @@
+#include "cellular/fingerprint.h"
+
+#include <algorithm>
+
+namespace bussense {
+
+Fingerprint make_fingerprint(std::vector<CellObservation> observations) {
+  std::stable_sort(observations.begin(), observations.end(),
+                   [](const CellObservation& a, const CellObservation& b) {
+                     return a.rss_dbm > b.rss_dbm;
+                   });
+  Fingerprint fp;
+  fp.cells.reserve(observations.size());
+  for (const CellObservation& o : observations) {
+    if (std::find(fp.cells.begin(), fp.cells.end(), o.id) == fp.cells.end()) {
+      fp.cells.push_back(o.id);
+    }
+  }
+  return fp;
+}
+
+int common_cell_count(const Fingerprint& a, const Fingerprint& b) {
+  int count = 0;
+  for (CellId id : a.cells) {
+    if (std::find(b.cells.begin(), b.cells.end(), id) != b.cells.end()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string to_string(const Fingerprint& fp) {
+  std::string out;
+  for (std::size_t i = 0; i < fp.cells.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(fp.cells[i]);
+  }
+  return out;
+}
+
+}  // namespace bussense

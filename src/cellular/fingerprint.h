@@ -1,0 +1,42 @@
+// Cellular fingerprints: the set of visible cell towers ordered by RSS.
+//
+// The paper's central representation (Section III-A): RSS magnitudes vary
+// with conditions but the *rank order* of towers at a location is stable, so
+// a bus stop is signatured by its ordered cell-ID set and compared with an
+// order-aware alignment (core/matching.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cellular/cell_tower.h"
+
+namespace bussense {
+
+/// One tower seen in a scan.
+struct CellObservation {
+  CellId id = 0;
+  double rss_dbm = 0.0;
+};
+
+/// Ordered cell-ID set. Invariant maintained by make_fingerprint: ids are
+/// unique and ordered by descending RSS of the originating scan.
+struct Fingerprint {
+  std::vector<CellId> cells;
+
+  bool empty() const { return cells.empty(); }
+  std::size_t size() const { return cells.size(); }
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Builds a fingerprint from scan observations (sorts by descending RSS).
+Fingerprint make_fingerprint(std::vector<CellObservation> observations);
+
+/// Number of cell IDs the two fingerprints share (order-insensitive); the
+/// paper's tie-break when two stops score equally.
+int common_cell_count(const Fingerprint& a, const Fingerprint& b);
+
+/// "2134,3486,1122" — the rendering used in Figure 3.
+std::string to_string(const Fingerprint& fp);
+
+}  // namespace bussense

@@ -1,0 +1,78 @@
+#include "cellular/radio_environment.h"
+
+#include <cmath>
+
+namespace bussense {
+
+namespace {
+
+// SplitMix64 — cheap, well-mixed 64-bit hash used to derive the static
+// shadowing field deterministically from (seed, tower, grid cell).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Standard normal deviate derived from a hash via Box–Muller on two hashed
+// uniforms. Deterministic, no generator state.
+double hashed_normal(std::uint64_t h) {
+  const std::uint64_t h1 = splitmix64(h);
+  const std::uint64_t h2 = splitmix64(h1 ^ 0xda942042e4dd58b5ULL);
+  const double u1 =
+      (static_cast<double>(h1 >> 11) + 0.5) / 9007199254740992.0;  // (0,1)
+  const double u2 = static_cast<double>(h2 >> 11) / 9007199254740992.0;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+RadioEnvironment::RadioEnvironment(std::vector<CellTower> towers,
+                                   PropagationConfig config,
+                                   std::uint64_t terrain_seed)
+    : towers_(std::move(towers)),
+      config_(config),
+      terrain_seed_(terrain_seed) {}
+
+double RadioEnvironment::shadow_at_node(CellId tower, std::int64_t gx,
+                                        std::int64_t gy) const {
+  std::uint64_t h = terrain_seed_;
+  h = splitmix64(h ^ static_cast<std::uint64_t>(tower));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(gx) * 0x9e3779b97f4a7c15ULL);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(gy) * 0xc2b2ae3d27d4eb4fULL);
+  return hashed_normal(h) * config_.shadow_sigma_db;
+}
+
+double RadioEnvironment::static_shadow_db(CellId tower, Point p) const {
+  const double g = config_.shadow_grid_m;
+  const double fx = p.x / g;
+  const double fy = p.y / g;
+  const auto x0 = static_cast<std::int64_t>(std::floor(fx));
+  const auto y0 = static_cast<std::int64_t>(std::floor(fy));
+  const double tx = fx - static_cast<double>(x0);
+  const double ty = fy - static_cast<double>(y0);
+  const double s00 = shadow_at_node(tower, x0, y0);
+  const double s10 = shadow_at_node(tower, x0 + 1, y0);
+  const double s01 = shadow_at_node(tower, x0, y0 + 1);
+  const double s11 = shadow_at_node(tower, x0 + 1, y0 + 1);
+  const double s0 = s00 * (1.0 - tx) + s10 * tx;
+  const double s1 = s01 * (1.0 - tx) + s11 * tx;
+  return s0 * (1.0 - ty) + s1 * ty;
+}
+
+double RadioEnvironment::mean_rss_dbm(const CellTower& tower, Point p) const {
+  const double d = std::max(distance(tower.position, p), config_.ref_distance_m);
+  const double path_loss =
+      config_.ref_loss_db +
+      10.0 * config_.path_loss_exponent * std::log10(d / config_.ref_distance_m);
+  return tower.tx_power_dbm - path_loss + static_shadow_db(tower.id, p);
+}
+
+double RadioEnvironment::sample_rss_dbm(const CellTower& tower, Point p,
+                                        Rng& rng, double extra_noise_db) const {
+  const double sigma = std::hypot(config_.temporal_sigma_db, extra_noise_db);
+  return mean_rss_dbm(tower, p) + rng.normal(0.0, sigma);
+}
+
+}  // namespace bussense

@@ -1,0 +1,31 @@
+#include "cellular/scanner.h"
+
+#include <algorithm>
+
+namespace bussense {
+
+std::vector<CellObservation> CellScanner::scan(const RadioEnvironment& env,
+                                               Point p, Rng& rng,
+                                               bool in_bus) const {
+  const double extra = in_bus ? config_.in_bus_noise_db : 0.0;
+  std::vector<CellObservation> seen;
+  for (const CellTower& tower : env.towers()) {
+    const double rss = env.sample_rss_dbm(tower, p, rng, extra);
+    if (rss >= config_.sensitivity_dbm) {
+      seen.push_back(CellObservation{tower.id, rss});
+    }
+  }
+  std::sort(seen.begin(), seen.end(),
+            [](const CellObservation& a, const CellObservation& b) {
+              return a.rss_dbm > b.rss_dbm;
+            });
+  if (seen.size() > config_.max_towers) seen.resize(config_.max_towers);
+  return seen;
+}
+
+Fingerprint CellScanner::scan_fingerprint(const RadioEnvironment& env, Point p,
+                                          Rng& rng, bool in_bus) const {
+  return make_fingerprint(scan(env, p, rng, in_bus));
+}
+
+}  // namespace bussense

@@ -1,0 +1,44 @@
+// Phone-side cell scan: which towers a phone reports at a position.
+//
+// Real modems report the serving cell plus a handful of monitored
+// neighbours; the paper observes 4–7 visible towers per bus stop. The
+// scanner samples RSS for every deployed tower, keeps those above the modem
+// sensitivity, and truncates to the strongest max_towers.
+#pragma once
+
+#include <vector>
+
+#include "cellular/fingerprint.h"
+#include "cellular/radio_environment.h"
+#include "common/rng.h"
+
+namespace bussense {
+
+struct ScannerConfig {
+  double sensitivity_dbm = -100.0;  ///< weakest reportable RSS
+  std::size_t max_towers = 7;       ///< modem neighbour-list capacity
+  /// Additional per-scan RSS spread when the phone is inside a bus (body
+  /// and vehicle attenuation varies with seating position).
+  double in_bus_noise_db = 1.8;
+};
+
+class CellScanner {
+ public:
+  explicit CellScanner(ScannerConfig config = {}) : config_(config) {}
+
+  /// Scans at `p`. `in_bus` adds the in-bus noise term. Result is sorted by
+  /// descending RSS.
+  std::vector<CellObservation> scan(const RadioEnvironment& env, Point p,
+                                    Rng& rng, bool in_bus = false) const;
+
+  /// Convenience: scan and convert to an ordered fingerprint.
+  Fingerprint scan_fingerprint(const RadioEnvironment& env, Point p, Rng& rng,
+                               bool in_bus = false) const;
+
+  const ScannerConfig& config() const { return config_; }
+
+ private:
+  ScannerConfig config_;
+};
+
+}  // namespace bussense

@@ -1,0 +1,26 @@
+// Physical bus stop.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "citynet/types.h"
+#include "common/geo.h"
+
+namespace bussense {
+
+struct BusStop {
+  StopId id = kInvalidStop;
+  std::string name;
+  Point position;
+  /// Unit direction of travel this stop serves (stops are kerb-side and
+  /// directional; the twin on the other side serves the opposite heading).
+  Point heading{1.0, 0.0};
+  /// The twin stop on the opposite side of a two-way road, if any. Twins are
+  /// ~15 m apart, have near-identical cellular fingerprints, and are merged
+  /// into one "effective" stop for location-reference purposes (paper
+  /// Section III-A, Figure 2(c) "effective CDF").
+  std::optional<StopId> opposite;
+};
+
+}  // namespace bussense

@@ -1,0 +1,73 @@
+#include "citynet/city.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace bussense {
+
+City::City(BoundingBox region, RoadNetwork network, std::vector<BusStop> stops,
+           std::vector<BusRoute> routes)
+    : region_(region),
+      network_(std::move(network)),
+      stops_(std::move(stops)),
+      routes_(std::move(routes)) {
+  for (std::size_t i = 0; i < stops_.size(); ++i) {
+    if (stops_[i].id != static_cast<StopId>(i)) {
+      throw std::invalid_argument("City: stop ids must be dense 0..n-1");
+    }
+  }
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    if (routes_[i].id() != static_cast<RouteId>(i)) {
+      throw std::invalid_argument("City: route ids must be dense 0..n-1");
+    }
+  }
+}
+
+const BusRoute* City::route_by_name(const std::string& name,
+                                    int direction) const {
+  for (const BusRoute& r : routes_) {
+    if (r.name() == name && r.direction() == direction) return &r;
+  }
+  return nullptr;
+}
+
+StopId City::effective_stop(StopId id) const {
+  const BusStop& s = stop(id);
+  if (s.opposite.has_value()) return std::min(id, *s.opposite);
+  return id;
+}
+
+double City::covered_length() const {
+  std::set<SegmentId> covered;
+  for (const BusRoute& r : routes_) {
+    for (const LinkSpan& span : r.link_spans()) covered.insert(span.link);
+  }
+  double length = 0.0;
+  for (SegmentId id : covered) length += network_.link(id).length();
+  return length;
+}
+
+double City::coverage_ratio() const {
+  return network_.total_length() > 0.0 ? covered_length() / network_.total_length()
+                                       : 0.0;
+}
+
+std::vector<SegmentId> City::links_covered_by_at_least(int min_routes) const {
+  // Count distinct public names per link (both directions of one name count once).
+  std::vector<std::set<std::string>> names(network_.size());
+  for (const BusRoute& r : routes_) {
+    for (const LinkSpan& span : r.link_spans()) {
+      names[static_cast<std::size_t>(span.link)].insert(r.name());
+    }
+  }
+  std::vector<SegmentId> out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (static_cast<int>(names[i].size()) >= min_routes) {
+      out.push_back(static_cast<SegmentId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace bussense

@@ -1,0 +1,54 @@
+// The complete city model: region, road network, stops, directed routes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "citynet/bus_route.h"
+#include "citynet/bus_stop.h"
+#include "citynet/road_network.h"
+#include "citynet/types.h"
+
+namespace bussense {
+
+class City {
+ public:
+  City(BoundingBox region, RoadNetwork network, std::vector<BusStop> stops,
+       std::vector<BusRoute> routes);
+
+  const BoundingBox& region() const { return region_; }
+  const RoadNetwork& network() const { return network_; }
+  const std::vector<BusStop>& stops() const { return stops_; }
+  const std::vector<BusRoute>& routes() const { return routes_; }
+
+  const BusStop& stop(StopId id) const {
+    return stops_.at(static_cast<std::size_t>(id));
+  }
+  const BusRoute& route(RouteId id) const {
+    return routes_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Directed route variant by public name, or nullptr.
+  const BusRoute* route_by_name(const std::string& name, int direction) const;
+
+  /// Canonical id for location purposes: opposite-side twins collapse to the
+  /// smaller id of the pair (the paper's "effective" stop treatment).
+  StopId effective_stop(StopId id) const;
+
+  /// Total length of links traversed by at least one route, metres.
+  double covered_length() const;
+
+  /// Fraction of road length covered by at least one route.
+  double coverage_ratio() const;
+
+  /// Link ids traversed by at least `min_routes` distinct public route names.
+  std::vector<SegmentId> links_covered_by_at_least(int min_routes) const;
+
+ private:
+  BoundingBox region_;
+  RoadNetwork network_;
+  std::vector<BusStop> stops_;
+  std::vector<BusRoute> routes_;
+};
+
+}  // namespace bussense

@@ -1,0 +1,290 @@
+#include "citynet/city_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace bussense {
+
+namespace {
+
+/// Grid coordinates of an intersection.
+struct GridPoint {
+  int i = 0;  ///< column
+  int j = 0;  ///< row
+};
+
+/// Fractional route waypoint templates; snapped to the nearest intersection.
+/// Consecutive waypoints must share a row or a column after snapping.
+struct RouteTemplate {
+  std::string name;
+  std::vector<std::pair<double, double>> waypoints;  ///< (fx, fy) in [0,1]
+};
+
+const std::vector<RouteTemplate>& route_templates() {
+  static const std::vector<RouteTemplate> kTemplates = {
+      {"79", {{0.0, 0.125}, {0.43, 0.125}, {0.43, 0.5}, {0.71, 0.5}, {0.71, 0.875}, {1.0, 0.875}}},
+      {"99", {{0.0, 0.875}, {0.29, 0.875}, {0.29, 0.375}, {0.64, 0.375}, {0.64, 0.0}, {1.0, 0.0}}},
+      {"241", {{0.07, 0.0}, {0.07, 1.0}, {0.21, 1.0}, {0.21, 0.0}}},
+      {"243", {{0.36, 0.0}, {0.36, 1.0}, {0.5, 1.0}, {0.5, 0.0}}},
+      {"252", {{0.64, 0.125}, {0.64, 1.0}, {0.79, 1.0}, {0.79, 0.125}}},
+      {"257", {{0.93, 0.0}, {0.93, 1.0}, {1.0, 1.0}, {1.0, 0.125}}},
+      {"182", {{0.0, 0.625}, {0.57, 0.625}, {0.57, 0.75}, {1.0, 0.75}}},
+      {"31", {{0.0, 0.375}, {0.71, 0.375}}},
+  };
+  return kTemplates;
+}
+
+class GeneratorState {
+ public:
+  explicit GeneratorState(const CityConfig& config)
+      : config_(config),
+        cols_(static_cast<int>(std::lround(config.width_m / config.grid_spacing_m)) + 1),
+        rows_(static_cast<int>(std::lround(config.height_m / config.grid_spacing_m)) + 1),
+        rng_(config.seed) {
+    if (cols_ < 3 || rows_ < 3) {
+      throw std::invalid_argument("generate_city: region too small for the grid");
+    }
+    build_links();
+  }
+
+  City build() {
+    std::vector<BusRoute> routes;
+    RouteId next_route = 0;
+    const auto& templates = route_templates();
+    for (const std::string& name : config_.route_names) {
+      const auto it =
+          std::find_if(templates.begin(), templates.end(),
+                       [&](const RouteTemplate& t) { return t.name == name; });
+      if (it == templates.end()) {
+        throw std::invalid_argument("generate_city: no template for route " + name);
+      }
+      auto [path, spans] = trace_path(snap_waypoints(it->waypoints));
+      // Forward stops define the centreline points; the reverse variant
+      // mirrors them so opposite-side twins face each other.
+      const std::vector<double> centre_arcs = draw_stop_arcs(path.length());
+      routes.push_back(make_route(next_route++, name, /*direction=*/0, path,
+                                  spans, centre_arcs));
+      routes.push_back(make_reverse_route(next_route++, name, path, spans,
+                                          centre_arcs));
+    }
+    const BoundingBox region{{0.0, 0.0}, {config_.width_m, config_.height_m}};
+    return City(region, RoadNetwork(std::move(links_)), std::move(stops_),
+                std::move(routes));
+  }
+
+ private:
+  Point intersection(GridPoint g) const {
+    const double sx = config_.width_m / static_cast<double>(cols_ - 1);
+    const double sy = config_.height_m / static_cast<double>(rows_ - 1);
+    return Point{g.i * sx, g.j * sy};
+  }
+
+  SegmentId horizontal_link_id(int i, int j) const {
+    return static_cast<SegmentId>(j * (cols_ - 1) + i);
+  }
+  SegmentId vertical_link_id(int i, int j) const {
+    return static_cast<SegmentId>(rows_ * (cols_ - 1) + i * (rows_ - 1) + j);
+  }
+
+  void build_links() {
+    const int mid_row = rows_ / 2;
+    const int commuter_a = static_cast<int>(std::lround(0.36 * (cols_ - 1)));
+    const int commuter_b = static_cast<int>(std::lround(0.50 * (cols_ - 1)));
+    links_.reserve(static_cast<std::size_t>(rows_ * (cols_ - 1) + cols_ * (rows_ - 1)));
+    // Horizontal links first (ids must match horizontal_link_id).
+    for (int j = 0; j < rows_; ++j) {
+      for (int i = 0; i < cols_ - 1; ++i) {
+        Polyline path({intersection({i, j}), intersection({i + 1, j})});
+        RoadClass cls = RoadClass::kLocal;
+        double speed = 45.0;
+        if (j == mid_row || j == 0 || j == rows_ - 1) {
+          cls = RoadClass::kMajorArterial;
+          speed = 60.0;
+        } else if (j % 2 == 0) {
+          cls = RoadClass::kArterial;
+          speed = 55.0;
+        }
+        links_.push_back(RoadLink{horizontal_link_id(i, j), std::move(path), cls,
+                                  speed, /*commuter_corridor=*/false});
+      }
+    }
+    for (int i = 0; i < cols_; ++i) {
+      for (int j = 0; j < rows_ - 1; ++j) {
+        Polyline path({intersection({i, j}), intersection({i, j + 1})});
+        RoadClass cls = RoadClass::kLocal;
+        double speed = 45.0;
+        bool commuter = false;
+        if (i == commuter_a || i == commuter_b) {
+          cls = RoadClass::kArterial;
+          speed = 50.0;
+          commuter = true;
+        } else if (i % 3 == 0) {
+          cls = RoadClass::kArterial;
+          speed = 55.0;
+        }
+        links_.push_back(RoadLink{vertical_link_id(i, j), std::move(path), cls,
+                                  speed, commuter});
+      }
+    }
+  }
+
+  std::vector<GridPoint> snap_waypoints(
+      const std::vector<std::pair<double, double>>& fractions) const {
+    std::vector<GridPoint> pts;
+    pts.reserve(fractions.size());
+    for (auto [fx, fy] : fractions) {
+      pts.push_back(GridPoint{
+          static_cast<int>(std::lround(fx * (cols_ - 1))),
+          static_cast<int>(std::lround(fy * (rows_ - 1)))});
+    }
+    return pts;
+  }
+
+  /// Walks the grid through the waypoints, producing the route polyline and
+  /// the traversed link spans.
+  std::pair<Polyline, std::vector<LinkSpan>> trace_path(
+      const std::vector<GridPoint>& waypoints) const {
+    if (waypoints.size() < 2) {
+      throw std::invalid_argument("trace_path: need at least two waypoints");
+    }
+    std::vector<Point> vertices{intersection(waypoints.front())};
+    std::vector<LinkSpan> spans;
+    double arc = 0.0;
+    auto add_link = [&](SegmentId id, GridPoint to) {
+      const Point p = intersection(to);
+      const double len = distance(vertices.back(), p);
+      spans.push_back(LinkSpan{id, arc, arc + len});
+      arc += len;
+      vertices.push_back(p);
+    };
+    GridPoint cur = waypoints.front();
+    for (std::size_t w = 1; w < waypoints.size(); ++w) {
+      const GridPoint target = waypoints[w];
+      if (cur.i != target.i && cur.j != target.j) {
+        throw std::invalid_argument(
+            "trace_path: consecutive waypoints must share a row or column");
+      }
+      while (cur.i < target.i) { add_link(horizontal_link_id(cur.i, cur.j), {cur.i + 1, cur.j}); ++cur.i; }
+      while (cur.i > target.i) { add_link(horizontal_link_id(cur.i - 1, cur.j), {cur.i - 1, cur.j}); --cur.i; }
+      while (cur.j < target.j) { add_link(vertical_link_id(cur.i, cur.j), {cur.i, cur.j + 1}); ++cur.j; }
+      while (cur.j > target.j) { add_link(vertical_link_id(cur.i, cur.j - 1), {cur.i, cur.j - 1}); --cur.j; }
+    }
+    return {Polyline(std::move(vertices)), std::move(spans)};
+  }
+
+  /// Stop centreline arc positions along a path of length `len`.
+  std::vector<double> draw_stop_arcs(double len) {
+    std::vector<double> arcs;
+    double arc = config_.stop_spacing_m * 0.5 +
+                 rng_.uniform(-config_.stop_spacing_jitter_m,
+                              config_.stop_spacing_jitter_m);
+    while (arc < len - config_.stop_spacing_m * 0.25) {
+      arcs.push_back(arc);
+      arc += config_.stop_spacing_m + rng_.uniform(-config_.stop_spacing_jitter_m,
+                                                   config_.stop_spacing_jitter_m);
+    }
+    if (arcs.size() < 2) {
+      throw std::invalid_argument("draw_stop_arcs: route too short for stops");
+    }
+    return arcs;
+  }
+
+  /// Kerb-side position for a stop: offset to the left of travel (Singapore
+  /// drives on the left; stops are on the near side).
+  Point kerb_position(const Polyline& path, double arc) const {
+    const Point c = path.point_at(arc);
+    const Point d = path.direction_at(arc);
+    const Point left{-d.y, d.x};
+    return c + left * config_.stop_side_offset_m;
+  }
+
+  /// Finds an existing same-heading stop within the merge radius (shared
+  /// stop on a common corridor), else creates a new stop and twin-links it
+  /// with any opposite-heading stop across the road.
+  StopId obtain_stop(Point position, Point heading) {
+    for (const BusStop& s : stops_) {
+      if (dot(s.heading, heading) > 0.5 &&
+          distance(s.position, position) <= config_.stop_merge_radius_m) {
+        return s.id;
+      }
+    }
+    BusStop stop;
+    stop.id = static_cast<StopId>(stops_.size());
+    stop.name = "Stop-" + std::to_string(stop.id);
+    stop.position = position;
+    stop.heading = heading;
+    // Twin: an opposite-heading stop just across the road.
+    const double twin_radius = 2.0 * config_.stop_side_offset_m + 10.0;
+    for (BusStop& other : stops_) {
+      if (!other.opposite.has_value() && dot(other.heading, heading) < -0.5 &&
+          distance(other.position, position) <= twin_radius) {
+        stop.opposite = other.id;
+        other.opposite = stop.id;
+        break;
+      }
+    }
+    stops_.push_back(std::move(stop));
+    return stops_.back().id;
+  }
+
+  BusRoute make_route(RouteId id, const std::string& name, int direction,
+                      const Polyline& path, const std::vector<LinkSpan>& spans,
+                      const std::vector<double>& centre_arcs) {
+    std::vector<RouteStop> stops;
+    stops.reserve(centre_arcs.size());
+    for (double arc : centre_arcs) {
+      const StopId sid = obtain_stop(kerb_position(path, arc), path.direction_at(arc));
+      // Merging may map two nearby arcs to the same stop; keep the first.
+      if (std::any_of(stops.begin(), stops.end(),
+                      [&](const RouteStop& rs) { return rs.stop == sid; })) {
+        continue;
+      }
+      stops.push_back(RouteStop{sid, arc});
+    }
+    return BusRoute(id, name, direction, path, std::move(stops), spans);
+  }
+
+  BusRoute make_reverse_route(RouteId id, const std::string& name,
+                              const Polyline& forward_path,
+                              const std::vector<LinkSpan>& forward_spans,
+                              const std::vector<double>& centre_arcs) {
+    const double len = forward_path.length();
+    const Polyline path = forward_path.reversed();
+    std::vector<LinkSpan> spans;
+    spans.reserve(forward_spans.size());
+    for (auto it = forward_spans.rbegin(); it != forward_spans.rend(); ++it) {
+      spans.push_back(LinkSpan{it->link, len - it->arc_end, len - it->arc_begin});
+    }
+    std::vector<RouteStop> stops;
+    for (auto it = centre_arcs.rbegin(); it != centre_arcs.rend(); ++it) {
+      const double rev_arc = len - *it;
+      const StopId sid =
+          obtain_stop(kerb_position(path, rev_arc), path.direction_at(rev_arc));
+      if (std::any_of(stops.begin(), stops.end(),
+                      [&](const RouteStop& rs) { return rs.stop == sid; })) {
+        continue;
+      }
+      stops.push_back(RouteStop{sid, rev_arc});
+    }
+    return BusRoute(id, name, /*direction=*/1, path, std::move(stops), spans);
+  }
+
+  const CityConfig& config_;
+  int cols_;
+  int rows_;
+  Rng rng_;
+  std::vector<RoadLink> links_;
+  std::vector<BusStop> stops_;
+};
+
+}  // namespace
+
+City generate_city(const CityConfig& config) {
+  return GeneratorState(config).build();
+}
+
+}  // namespace bussense

@@ -1,0 +1,37 @@
+// Synthetic city generator (substitute for the Jurong West testbed).
+//
+// Generates a width x height region with a grid street plan, eight public
+// bus routes named after the paper's (79, 99, 241, 243, 252, 257, 182 and
+// the partial 31), each in two directed variants, and bus stops every
+// ~350-450 m with opposite-side twins on two-way roads. Two designated
+// "commuter corridor" streets in the middle of the region model the paper's
+// university<->station shuttle roads that congest every morning.
+//
+// Everything is deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "citynet/city.h"
+
+namespace bussense {
+
+struct CityConfig {
+  double width_m = 7000.0;   ///< paper region: 7 km x 4 km (25 km^2 quoted)
+  double height_m = 4000.0;
+  double grid_spacing_m = 500.0;
+  double stop_spacing_m = 400.0;        ///< mean inter-stop distance
+  double stop_spacing_jitter_m = 50.0;  ///< uniform jitter on spacing
+  double stop_side_offset_m = 8.0;      ///< stop offset from road centreline
+  double stop_merge_radius_m = 150.0;   ///< reuse radius for shared stops
+  std::uint64_t seed = 7;
+  /// Public route names; templates exist for up to eight routes.
+  std::vector<std::string> route_names = {"79",  "99",  "241", "243",
+                                          "252", "257", "182", "31"};
+};
+
+City generate_city(const CityConfig& config = {});
+
+}  // namespace bussense

@@ -1,0 +1,16 @@
+#include "citynet/road_network.h"
+
+#include <stdexcept>
+
+namespace bussense {
+
+RoadNetwork::RoadNetwork(std::vector<RoadLink> links) : links_(std::move(links)) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].id != static_cast<SegmentId>(i)) {
+      throw std::invalid_argument("RoadNetwork: link ids must be dense 0..n-1");
+    }
+    total_length_ += links_[i].length();
+  }
+}
+
+}  // namespace bussense

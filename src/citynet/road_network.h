@@ -1,0 +1,51 @@
+// Road network: links between adjacent intersections of the simulated city.
+//
+// A "link" is the unit at which ground-truth traffic is defined and at which
+// map coverage is reported. The paper's estimation unit — the stretch
+// between two adjacent bus stops — maps onto one or more (possibly partial)
+// links via BusRoute::link_lengths_between.
+#pragma once
+
+#include <vector>
+
+#include "citynet/types.h"
+#include "common/geo.h"
+
+namespace bussense {
+
+enum class RoadClass {
+  kMajorArterial,  ///< high free speed, strong peak congestion
+  kArterial,
+  kLocal,
+};
+
+struct RoadLink {
+  SegmentId id = kInvalidSegment;
+  Polyline path;
+  RoadClass road_class = RoadClass::kArterial;
+  double free_speed_kmh = 50.0;
+  /// True for the paper's "two main roads in the middle" with routine
+  /// university<->station commuter shuttles and deep morning congestion.
+  bool commuter_corridor = false;
+
+  double length() const { return path.length(); }
+};
+
+class RoadNetwork {
+ public:
+  explicit RoadNetwork(std::vector<RoadLink> links);
+
+  /// Precondition: `id` was returned by this network.
+  const RoadLink& link(SegmentId id) const { return links_.at(static_cast<std::size_t>(id)); }
+  const std::vector<RoadLink>& links() const { return links_; }
+  std::size_t size() const { return links_.size(); }
+
+  /// Sum of all link lengths, metres.
+  double total_length() const { return total_length_; }
+
+ private:
+  std::vector<RoadLink> links_;
+  double total_length_ = 0.0;
+};
+
+}  // namespace bussense

@@ -1,0 +1,16 @@
+// Identifier types for the city model.
+#pragma once
+
+#include <cstdint>
+
+namespace bussense {
+
+using SegmentId = std::int32_t;  ///< road link (between adjacent intersections)
+using StopId = std::int32_t;     ///< physical bus stop (one side of the road)
+using RouteId = std::int32_t;    ///< directed bus route variant
+
+constexpr SegmentId kInvalidSegment = -1;
+constexpr StopId kInvalidStop = -1;
+constexpr RouteId kInvalidRoute = -1;
+
+}  // namespace bussense

@@ -1,0 +1,79 @@
+#include "common/geo.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bussense {
+
+namespace {
+constexpr double kDuplicateEps = 1e-9;
+}
+
+Polyline::Polyline(std::vector<Point> vertices) {
+  vertices_.reserve(vertices.size());
+  for (const Point& v : vertices) {
+    if (vertices_.empty() || distance(vertices_.back(), v) > kDuplicateEps) {
+      vertices_.push_back(v);
+    }
+  }
+  if (vertices_.size() < 2) {
+    throw std::invalid_argument("Polyline needs at least two distinct vertices");
+  }
+  cumulative_.resize(vertices_.size());
+  cumulative_[0] = 0.0;
+  for (std::size_t i = 1; i < vertices_.size(); ++i) {
+    cumulative_[i] = cumulative_[i - 1] + distance(vertices_[i - 1], vertices_[i]);
+  }
+}
+
+std::pair<std::size_t, double> Polyline::locate(double s) const {
+  const double clamped = std::clamp(s, 0.0, length());
+  // First vertex with cumulative length >= clamped; segment index precedes it.
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), clamped);
+  std::size_t idx = static_cast<std::size_t>(it - cumulative_.begin());
+  if (idx > 0) --idx;
+  idx = std::min(idx, vertices_.size() - 2);
+  return {idx, clamped - cumulative_[idx]};
+}
+
+Point Polyline::point_at(double s) const {
+  const auto [idx, offset] = locate(s);
+  const double seg_len = cumulative_[idx + 1] - cumulative_[idx];
+  const double t = seg_len > 0.0 ? offset / seg_len : 0.0;
+  return lerp(vertices_[idx], vertices_[idx + 1], t);
+}
+
+Point Polyline::direction_at(double s) const {
+  const auto [idx, offset] = locate(s);
+  (void)offset;
+  const Point d = vertices_[idx + 1] - vertices_[idx];
+  const double n = norm(d);
+  return {d.x / n, d.y / n};
+}
+
+PolylineProjection Polyline::project(Point p) const {
+  PolylineProjection best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < vertices_.size(); ++i) {
+    const Point a = vertices_[i];
+    const Point b = vertices_[i + 1];
+    const Point ab = b - a;
+    const double len2 = dot(ab, ab);
+    const double t = len2 > 0.0 ? std::clamp(dot(p - a, ab) / len2, 0.0, 1.0) : 0.0;
+    const Point q = lerp(a, b, t);
+    const double d = distance(p, q);
+    if (d < best.distance) {
+      best.distance = d;
+      best.closest = q;
+      best.arc_length = cumulative_[i] + t * std::sqrt(len2);
+    }
+  }
+  return best;
+}
+
+Polyline Polyline::reversed() const {
+  std::vector<Point> rev(vertices_.rbegin(), vertices_.rend());
+  return Polyline(std::move(rev));
+}
+
+}  // namespace bussense

@@ -1,0 +1,95 @@
+// Planar geometry primitives for the simulated city.
+//
+// All coordinates are metres in a local East-North frame whose origin is the
+// south-west corner of the monitored region. The paper's testbed is a
+// 7 km x 4 km area of Jurong West, Singapore; a planar frame is accurate to
+// well under a metre at that scale, so no geodesy is needed.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace bussense {
+
+/// A point (or displacement) in the local planar frame, metres.
+struct Point {
+  double x = 0.0;  ///< metres east of the region origin
+  double y = 0.0;  ///< metres north of the region origin
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double k) { return {a.x * k, a.y * k}; }
+  friend Point operator*(double k, Point a) { return a * k; }
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Euclidean norm of a displacement.
+inline double norm(Point p) { return std::hypot(p.x, p.y); }
+
+/// Euclidean distance between two points, metres.
+inline double distance(Point a, Point b) { return norm(b - a); }
+
+/// Dot product of two displacements.
+inline double dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// Linear interpolation between `a` and `b`; `t` in [0,1] maps to [a,b].
+inline Point lerp(Point a, Point b, double t) { return a + (b - a) * t; }
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  Point min;
+  Point max;
+
+  bool contains(Point p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+};
+
+/// Result of projecting a point onto a polyline.
+struct PolylineProjection {
+  double arc_length = 0.0;  ///< arc-length position of the closest point
+  Point closest;            ///< the closest point on the polyline
+  double distance = 0.0;    ///< distance from the query to `closest`
+};
+
+/// An immutable open polyline with precomputed cumulative arc lengths.
+///
+/// Invariant: at least two vertices; consecutive vertices are distinct.
+class Polyline {
+ public:
+  /// Builds a polyline from `vertices`. Consecutive duplicate vertices are
+  /// collapsed. Throws std::invalid_argument if fewer than two distinct
+  /// vertices remain.
+  explicit Polyline(std::vector<Point> vertices);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+
+  /// Total arc length, metres. Strictly positive.
+  double length() const { return cumulative_.back(); }
+
+  /// Point at arc-length `s` from the start. `s` is clamped to [0, length()].
+  Point point_at(double s) const;
+
+  /// Unit tangent direction at arc-length `s` (direction of the containing
+  /// segment; at a vertex, the direction of the following segment).
+  Point direction_at(double s) const;
+
+  /// Closest point on the polyline to `p`.
+  PolylineProjection project(Point p) const;
+
+  /// A polyline with the same geometry traversed in the opposite direction.
+  Polyline reversed() const;
+
+ private:
+  /// Index of the segment containing arc-length `s` plus the offset into it.
+  std::pair<std::size_t, double> locate(double s) const;
+
+  std::vector<Point> vertices_;
+  std::vector<double> cumulative_;  ///< cumulative_[i] = arc length at vertex i
+};
+
+}  // namespace bussense

@@ -1,0 +1,61 @@
+// Seeded random number generation.
+//
+// Every stochastic component in the library takes an explicit Rng so that
+// simulations, tests and benches are reproducible. Rng is a thin wrapper
+// around std::mt19937_64 with the distributions the simulator needs.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace bussense {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal such that the *result* has the given median and the given
+  /// sigma of the underlying normal (median = exp(mu)).
+  double lognormal_median(double median, double sigma) {
+    return std::lognormal_distribution<double>(std::log(median), sigma)(engine_);
+  }
+
+  /// Exponential with the given mean (mean = 1/lambda).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Poisson with the given mean.
+  int poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// A fresh generator deterministically derived from this one. Used to give
+  /// independent substreams to sub-components without sharing state.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bussense

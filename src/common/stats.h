@@ -1,0 +1,103 @@
+// Small statistics toolkit used by the estimator and the experiment harness:
+// streaming moments (Welford), empirical distributions (CDF / percentiles),
+// simple linear regression, and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bussense {
+
+/// Streaming mean/variance via Welford's algorithm. Numerically stable and
+/// single-pass; used wherever the simulator accumulates long series.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// An empirical distribution over collected samples. Percentile queries sort
+/// lazily on first use.
+class EmpiricalDistribution {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// p-th percentile with linear interpolation, p in [0, 100].
+  /// Precondition: not empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  /// Empirical CDF value: fraction of samples <= x.
+  double cdf(double x) const;
+
+  /// CDF evaluated on `points` evenly spaced over [lo, hi] (inclusive).
+  /// Returns (x, F(x)) pairs — the series a paper-style CDF figure plots.
+  std::vector<std::pair<double, double>> cdf_series(double lo, double hi,
+                                                    std::size_t points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Ordinary least squares y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits OLS over paired samples. Precondition: xs.size() == ys.size() >= 2
+/// and xs not all equal.
+LinearFit linear_regression(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+/// Fits y = a + b*x with the intercept `a` fixed (the paper's Eq. 3 fixes
+/// a = length / free-speed and regresses only b).
+double regression_slope_fixed_intercept(const std::vector<double>& xs,
+                                        const std::vector<double>& ys,
+                                        double intercept);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so mass is never lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  /// Centre x-value of bin i.
+  double bin_center(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace bussense

@@ -1,0 +1,35 @@
+// Console table printer used by the benchmark harness to emit the paper's
+// tables and figure series in a readable, diffable fixed-width format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bussense {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `precision` decimals.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for hand-built rows).
+std::string fmt(double v, int precision = 2);
+
+/// Prints a figure-style banner, e.g. "=== Figure 2(b): ... ===".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace bussense

@@ -1,0 +1,60 @@
+#include "core/arrival_predictor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bussense {
+
+ArrivalPredictor::ArrivalPredictor(const SegmentCatalog& catalog,
+                                   ArrivalPredictorConfig config)
+    : catalog_(&catalog), config_(config) {}
+
+double ArrivalPredictor::segment_bus_time_s(const SpanInfo& info,
+                                            double att_speed_kmh) const {
+  const double att_s =
+      info.length_m / 1000.0 / std::max(att_speed_kmh, 3.0) * 3600.0;
+  const double a = info.length_m / 1000.0 / info.free_speed_kmh * 3600.0;
+  const double free_btt =
+      TravelEstimator(*catalog_, config_.att)
+          .free_bus_time_s(info.length_m, info.free_speed_kmh);
+  // Invert Eq. 3: ATT = a + b * (BTT - BTT_free)  =>  BTT = BTT_free +
+  // (ATT - a)/b, clamped at free flow.
+  return free_btt + std::max(0.0, att_s - a) / config_.att.b;
+}
+
+std::vector<ArrivalPrediction> ArrivalPredictor::predict(
+    const BusRoute& route, int from_index, SimTime departure,
+    const SpeedFusion& fusion, SimTime now) const {
+  if (from_index < 0 || from_index + 1 >= static_cast<int>(route.stop_count())) {
+    throw std::invalid_argument("ArrivalPredictor: bad from_index");
+  }
+  const City& city = catalog_->city();
+  std::vector<ArrivalPrediction> out;
+  SimTime t = departure;
+  for (int k = from_index; k + 1 < static_cast<int>(route.stop_count()); ++k) {
+    const SegmentKey key{
+        city.effective_stop(route.stops()[static_cast<std::size_t>(k)].stop),
+        city.effective_stop(
+            route.stops()[static_cast<std::size_t>(k) + 1].stop)};
+    const SpanInfo* info = catalog_->adjacent(key);
+    if (!info) break;  // defensive: catalog covers all adjacent pairs
+    ArrivalPrediction p;
+    const auto fused = fusion.query(key);
+    if (fused && now - fused->updated_at <= config_.max_estimate_age_s) {
+      p.from_live_traffic = true;
+      t += segment_bus_time_s(*info, fused->mean_kmh);
+    } else {
+      t += segment_bus_time_s(*info, info->free_speed_kmh);
+    }
+    p.stop_index = k + 1;
+    p.stop = key.to;
+    p.eta = t;
+    p.travel_s = t - departure;
+    out.push_back(p);
+    // Dwell before continuing (the final stop needs no onward dwell).
+    t += config_.serve_probability * config_.expected_dwell_s;
+  }
+  return out;
+}
+
+}  // namespace bussense

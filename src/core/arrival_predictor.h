@@ -1,0 +1,58 @@
+// Bus arrival prediction on top of the live traffic map.
+//
+// The authors' companion system (Zhou, Zheng, Li — MobiSys'12 [27])
+// predicts bus arrival times from participatory sensing; here the same
+// capability falls out of the traffic server: once a trip's last cluster
+// fixes the bus at a stop, downstream arrival times follow by inverting the
+// Eq. 3 traffic model per segment — fused automobile speed → expected bus
+// running time — plus the expected dwell at each served stop.
+#pragma once
+
+#include <vector>
+
+#include "core/fusion.h"
+#include "core/segment_catalog.h"
+#include "core/travel_estimator.h"
+
+namespace bussense {
+
+struct ArrivalPredictorConfig {
+  AttModelConfig att;
+  double expected_dwell_s = 14.0;   ///< mean dwell at a served stop
+  double serve_probability = 0.8;   ///< chance a stop is actually served
+  double max_estimate_age_s = 1800.0;  ///< older fused speeds are ignored
+};
+
+struct ArrivalPrediction {
+  int stop_index = -1;
+  StopId stop = kInvalidStop;  ///< effective stop id
+  SimTime eta = 0.0;           ///< predicted arrival time
+  double travel_s = 0.0;       ///< predicted seconds from departure
+  bool from_live_traffic = false;  ///< false = free-flow fallback only
+};
+
+class ArrivalPredictor {
+ public:
+  ArrivalPredictor(const SegmentCatalog& catalog,
+                   ArrivalPredictorConfig config = {});
+
+  /// Expected bus running time over one adjacent segment given the fused
+  /// automobile speed (inverts Eq. 3), excluding dwell.
+  double segment_bus_time_s(const SpanInfo& info, double att_speed_kmh) const;
+
+  /// Predicts arrivals at every stop after `from_index`, for a bus that
+  /// departed that stop at `departure`. Uses `fusion` speeds no older than
+  /// max_estimate_age_s relative to `now`; free flow otherwise.
+  std::vector<ArrivalPrediction> predict(const BusRoute& route, int from_index,
+                                         SimTime departure,
+                                         const SpeedFusion& fusion,
+                                         SimTime now) const;
+
+  const ArrivalPredictorConfig& config() const { return config_; }
+
+ private:
+  const SegmentCatalog* catalog_;
+  ArrivalPredictorConfig config_;
+};
+
+}  // namespace bussense

@@ -1,0 +1,75 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace bussense {
+
+double cluster_affinity(const MatchedSample& a, const MatchedSample& b,
+                        const ClusteringConfig& config) {
+  const double dt = std::abs(b.sample.time - a.sample.time);
+  const double time_term = (config.max_gap_s - dt) / config.max_gap_s;
+  double l = 0.0;
+  if (a.stop == b.stop && a.stop != kInvalidStop) {
+    l = (config.max_score - std::abs(b.score - a.score)) / config.max_score;
+  }
+  return time_term + l;
+}
+
+namespace {
+
+void finalize(SampleCluster& cluster) {
+  struct Acc {
+    int count = 0;
+    double score_sum = 0.0;
+  };
+  std::map<StopId, Acc> by_stop;
+  for (const MatchedSample& m : cluster.members) {
+    Acc& acc = by_stop[m.stop];
+    ++acc.count;
+    acc.score_sum += m.score;
+  }
+  const double total = static_cast<double>(cluster.members.size());
+  for (const auto& [stop, acc] : by_stop) {
+    cluster.candidates.push_back(StopCandidate{
+        stop, static_cast<double>(acc.count) / total,
+        acc.score_sum / static_cast<double>(acc.count)});
+  }
+  std::sort(cluster.candidates.begin(), cluster.candidates.end(),
+            [](const StopCandidate& a, const StopCandidate& b) {
+              return a.probability > b.probability ||
+                     (a.probability == b.probability &&
+                      a.mean_similarity > b.mean_similarity);
+            });
+}
+
+}  // namespace
+
+std::vector<SampleCluster> cluster_samples(
+    const std::vector<MatchedSample>& samples, const ClusteringConfig& config) {
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].sample.time < samples[i - 1].sample.time) {
+      throw std::invalid_argument("cluster_samples: samples must be time-ordered");
+    }
+  }
+  std::vector<SampleCluster> clusters;
+  for (const MatchedSample& s : samples) {
+    bool joined = false;
+    if (!clusters.empty()) {
+      for (const MatchedSample& member : clusters.back().members) {
+        if (cluster_affinity(member, s, config) > config.epsilon) {
+          joined = true;
+          break;
+        }
+      }
+    }
+    if (!joined) clusters.emplace_back();
+    clusters.back().members.push_back(s);
+  }
+  for (SampleCluster& c : clusters) finalize(c);
+  return clusters;
+}
+
+}  // namespace bussense

@@ -1,0 +1,62 @@
+// Per-bus-stop co-clustering of matched samples (paper Section III-C.2).
+//
+// When a bus dwells at a stop, several passengers tap in quick succession;
+// the resulting samples are redundant observations of the same stop. Two
+// samples e_i, e_j are clustered together when
+//
+//   (t0 − |t_j − t_i|)/t0 + L(e_i, e_j) > ε,      (paper Eq. 1)
+//   L = (s0 − |s_j − s_i|)/s0  if matched stops agree, else 0
+//
+// with s0 = 7 (max similarity score), t0 = 30 s, ε = 0.6. Clusters record a
+// candidate pool — the matched stops of their members with per-stop
+// probability p and mean similarity s̄ — consumed by the trip mapper.
+#pragma once
+
+#include <vector>
+
+#include "citynet/types.h"
+#include "common/sim_time.h"
+#include "sensing/trip.h"
+
+namespace bussense {
+
+/// A sample that survived per-sample matching.
+struct MatchedSample {
+  CellularSample sample;
+  StopId stop = kInvalidStop;  ///< best-match effective stop
+  double score = 0.0;          ///< its similarity score
+};
+
+struct ClusteringConfig {
+  double max_score = 7.0;  ///< s0
+  double max_gap_s = 30.0; ///< t0
+  double epsilon = 0.6;    ///< ε (paper: accuracy plateaus around 0.3–1.3)
+};
+
+struct StopCandidate {
+  StopId stop = kInvalidStop;
+  double probability = 0.0;      ///< p_k(i): fraction of members matching stop
+  double mean_similarity = 0.0;  ///< s̄_k(i)
+};
+
+struct SampleCluster {
+  std::vector<MatchedSample> members;     ///< in time order
+  std::vector<StopCandidate> candidates;  ///< by descending probability
+
+  SimTime arrival_time() const { return members.front().sample.time; }
+  SimTime departure_time() const { return members.back().sample.time; }
+  /// Highest-probability candidate (ties: higher mean similarity).
+  const StopCandidate& best_candidate() const { return candidates.front(); }
+};
+
+/// Pairwise affinity of Eq. 1 (left-hand side).
+double cluster_affinity(const MatchedSample& a, const MatchedSample& b,
+                        const ClusteringConfig& config);
+
+/// Clusters samples (must be in non-decreasing time order). A sample joins
+/// the current cluster if its affinity with any member exceeds ε; otherwise
+/// it opens a new cluster.
+std::vector<SampleCluster> cluster_samples(const std::vector<MatchedSample>& samples,
+                                           const ClusteringConfig& config = {});
+
+}  // namespace bussense

@@ -1,0 +1,39 @@
+#include "core/concurrent_server.h"
+
+namespace bussense {
+
+ConcurrentTrafficServer::ConcurrentTrafficServer(const City& city,
+                                                 StopDatabase database,
+                                                 ServerConfig config)
+    : inner_(city, std::move(database), config) {}
+
+TrafficServer::TripReport ConcurrentTrafficServer::process_trip(
+    const TripUpload& trip) {
+  // Lock-free analysis against immutable state...
+  TrafficServer::TripReport report = inner_.analyze_trip(trip);
+  // ...then a short critical section to fold the results in.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_.ingest(report.estimates);
+    ++trips_processed_;
+  }
+  return report;
+}
+
+void ConcurrentTrafficServer::advance_time(SimTime now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  inner_.advance_time(now);
+}
+
+TrafficMap ConcurrentTrafficServer::snapshot(SimTime now,
+                                             double max_age_s) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return inner_.snapshot(now, max_age_s);
+}
+
+std::uint64_t ConcurrentTrafficServer::trips_processed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trips_processed_;
+}
+
+}  // namespace bussense

@@ -1,0 +1,46 @@
+// Thread-safe ingestion front end for the traffic server.
+//
+// The paper calls out "system scalability to support wider monitoring
+// field" as a design consideration of the crowdsourcing framework. The
+// heavy per-trip work — fingerprint matching, clustering, ML mapping,
+// travel-time extraction — is a pure function of immutable state (the stop
+// database, route graph and segment catalog), so worker threads run it
+// without synchronisation; only folding estimates into the shared fusion
+// state takes a lock. Because the fusion batches observations per 5-minute
+// period with an order-insensitive sum, concurrent ingestion is
+// *deterministic*: any arrival order yields the same fused map.
+#pragma once
+
+#include <mutex>
+
+#include "core/server.h"
+
+namespace bussense {
+
+class ConcurrentTrafficServer {
+ public:
+  ConcurrentTrafficServer(const City& city, StopDatabase database,
+                          ServerConfig config = {});
+
+  /// Full pipeline for one trip; safe to call from any thread.
+  TrafficServer::TripReport process_trip(const TripUpload& trip);
+
+  /// Closes fusion batches up to `now` (thread-safe).
+  void advance_time(SimTime now);
+
+  /// Snapshot of the shared map (thread-safe).
+  TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const;
+
+  const SegmentCatalog& catalog() const { return inner_.catalog(); }
+  const SpeedFusion& fusion_unsafe() const { return inner_.fusion(); }
+  std::uint64_t trips_processed() const;
+
+ private:
+  // TrafficServer's stateless stages are reused; its fusion state is only
+  // touched under the mutex.
+  TrafficServer inner_;
+  mutable std::mutex mutex_;
+  std::uint64_t trips_processed_ = 0;
+};
+
+}  // namespace bussense

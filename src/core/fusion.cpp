@@ -1,0 +1,67 @@
+#include "core/fusion.h"
+
+#include <cmath>
+
+namespace bussense {
+
+SpeedFusion::SpeedFusion(FusionConfig config) : config_(config) {}
+
+void SpeedFusion::add(const SpeedEstimate& estimate) {
+  State& state = states_[estimate.segment];
+  const auto period =
+      static_cast<std::int64_t>(std::floor(estimate.time / config_.update_period_s));
+  auto& [sum, count] = state.pending[period];
+  sum += estimate.att_speed_kmh;
+  ++count;
+}
+
+void SpeedFusion::apply(State& state, double mean_obs, SimTime at, int count) {
+  if (!state.fused) {
+    state.fused = FusedSpeed{mean_obs, config_.observation_variance, at, count};
+    return;
+  }
+  FusedSpeed& f = *state.fused;
+  // Ageing: precision decays while no data arrives (process noise).
+  f.variance += config_.process_noise_per_s * std::max(0.0, at - f.updated_at);
+  const double obs_var = config_.observation_variance;
+  const double denom = f.variance + obs_var;
+  f.mean_kmh = (f.mean_kmh * obs_var + mean_obs * f.variance) / denom;
+  f.variance = std::max(f.variance * obs_var / denom, config_.variance_floor);
+  f.updated_at = at;
+  f.observation_count += count;
+}
+
+void SpeedFusion::flush_until(SimTime now) {
+  const auto now_period =
+      static_cast<std::int64_t>(std::floor(now / config_.update_period_s));
+  for (auto& [key, state] : states_) {
+    (void)key;
+    while (!state.pending.empty()) {
+      const auto it = state.pending.begin();
+      // A batch closes when its period has fully elapsed.
+      if (it->first >= now_period) break;
+      const auto [sum, count] = it->second;
+      const SimTime close_time =
+          (static_cast<double>(it->first) + 1.0) * config_.update_period_s;
+      apply(state, sum / count, close_time, count);
+      state.pending.erase(it);
+    }
+  }
+}
+
+std::optional<FusedSpeed> SpeedFusion::query(const SegmentKey& segment) const {
+  const auto it = states_.find(segment);
+  if (it == states_.end()) return std::nullopt;
+  return it->second.fused;
+}
+
+std::vector<std::pair<SegmentKey, FusedSpeed>> SpeedFusion::all() const {
+  std::vector<std::pair<SegmentKey, FusedSpeed>> out;
+  out.reserve(states_.size());
+  for (const auto& [key, state] : states_) {
+    if (state.fused) out.emplace_back(key, *state.fused);
+  }
+  return out;
+}
+
+}  // namespace bussense

@@ -1,0 +1,38 @@
+// Coarse 4-level traffic indicator (the paper's Google Maps comparator).
+//
+// Figure 10 contrasts the system's numeric speed estimates with the rough
+// "very slow / slow / normal / fast" levels a consumer map shows. We apply
+// the same quantisation to a speed and, for coverage comparisons, restrict
+// the indicator to major arterials (consumer traffic layers cover far fewer
+// roads than the bus network — Figure 9(c)).
+#pragma once
+
+#include <string>
+
+namespace bussense {
+
+enum class GoogleLevel { kVerySlow, kSlow, kNormal, kFast };
+
+inline GoogleLevel google_level(double speed_kmh) {
+  if (speed_kmh < 20.0) return GoogleLevel::kVerySlow;
+  if (speed_kmh < 35.0) return GoogleLevel::kSlow;
+  if (speed_kmh < 50.0) return GoogleLevel::kNormal;
+  return GoogleLevel::kFast;
+}
+
+inline std::string to_string(GoogleLevel level) {
+  switch (level) {
+    case GoogleLevel::kVerySlow: return "very slow";
+    case GoogleLevel::kSlow: return "slow";
+    case GoogleLevel::kNormal: return "normal";
+    case GoogleLevel::kFast: return "fast";
+  }
+  return "?";
+}
+
+/// Numeric code 1..4 as plotted on Figure 10's right axis.
+inline int google_level_code(GoogleLevel level) {
+  return static_cast<int>(level) + 1;
+}
+
+}  // namespace bussense

@@ -1,0 +1,77 @@
+#include "core/gps_tracker.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace bussense {
+
+GpsTracker::GpsTracker(const SegmentCatalog& catalog, AttModelConfig att_config)
+    : catalog_(&catalog), estimator_(catalog, att_config) {}
+
+std::vector<double> GpsTracker::matched_arcs(
+    const BusRoute& route,
+    const std::vector<std::pair<SimTime, Point>>& fixes) const {
+  std::vector<double> arcs;
+  arcs.reserve(fixes.size());
+  for (const auto& [t, p] : fixes) {
+    (void)t;
+    arcs.push_back(route.path().project(p).arc_length);
+  }
+  // A bus never moves backwards along its route; clamp regressions caused
+  // by GPS scatter (running maximum = isotonic projection good enough here).
+  for (std::size_t i = 1; i < arcs.size(); ++i) {
+    arcs[i] = std::max(arcs[i], arcs[i - 1]);
+  }
+  return arcs;
+}
+
+std::vector<SpeedEstimate> GpsTracker::estimate(
+    const BusRoute& route,
+    const std::vector<std::pair<SimTime, Point>>& fixes) const {
+  std::vector<SpeedEstimate> out;
+  if (fixes.size() < 2) return out;
+  const std::vector<double> arcs = matched_arcs(route, fixes);
+
+  // Passage time at an arc position by linear interpolation of (arc, time).
+  auto passage_time = [&](double arc) -> std::optional<SimTime> {
+    if (arc < arcs.front() || arc > arcs.back()) return std::nullopt;
+    const auto it = std::lower_bound(arcs.begin(), arcs.end(), arc);
+    const std::size_t hi = static_cast<std::size_t>(it - arcs.begin());
+    if (hi == 0) return fixes.front().first;
+    const std::size_t lo = hi - 1;
+    const double span = arcs[hi] - arcs[lo];
+    const double f = span > 0.0 ? (arc - arcs[lo]) / span : 0.0;
+    return fixes[lo].first + f * (fixes[hi].first - fixes[lo].first);
+  };
+
+  const City& city = catalog_->city();
+  for (std::size_t k = 0; k + 1 < route.stop_count(); ++k) {
+    const double arc_a = route.stop_arc(static_cast<int>(k));
+    const double arc_b = route.stop_arc(static_cast<int>(k) + 1);
+    const auto t_a = passage_time(arc_a);
+    const auto t_b = passage_time(arc_b);
+    if (!t_a || !t_b || *t_b <= *t_a) continue;
+    const SegmentKey key{
+        city.effective_stop(route.stops()[k].stop),
+        city.effective_stop(route.stops()[k + 1].stop)};
+    const SpanInfo* info = catalog_->adjacent(key);
+    if (!info) continue;
+    // GPS cannot separate dwell from travel, so BTT here includes the dwell
+    // at the upstream stop — a structural error source of this baseline.
+    const double btt = *t_b - *t_a;
+    const double att =
+        estimator_.att_seconds(btt, info->length_m, info->free_speed_kmh);
+    if (att <= 0.0) continue;
+    SpeedEstimate e;
+    e.segment = key;
+    e.route = route.id();
+    e.time = 0.5 * (*t_a + *t_b);
+    e.att_speed_kmh = (info->length_m / 1000.0) / (att / 3600.0);
+    e.btt_s = btt;
+    e.span_length_m = info->length_m;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace bussense

@@ -1,0 +1,90 @@
+#include "core/matching.h"
+
+#include <algorithm>
+
+namespace bussense {
+
+namespace {
+
+/// Fills the DP matrix; returns the best cell value and its position.
+/// H is (n+1) x (m+1), row-major, H[0][*] = H[*][0] = 0.
+struct DpResult {
+  std::vector<double> h;
+  std::size_t rows = 0, cols = 0;
+  double best = 0.0;
+  std::size_t best_i = 0, best_j = 0;
+};
+
+DpResult run_dp(const Fingerprint& a, const Fingerprint& b,
+                const MatchingConfig& config) {
+  DpResult r;
+  r.rows = a.cells.size() + 1;
+  r.cols = b.cells.size() + 1;
+  r.h.assign(r.rows * r.cols, 0.0);
+  auto H = [&](std::size_t i, std::size_t j) -> double& {
+    return r.h[i * r.cols + j];
+  };
+  for (std::size_t i = 1; i < r.rows; ++i) {
+    for (std::size_t j = 1; j < r.cols; ++j) {
+      const bool eq = a.cells[i - 1] == b.cells[j - 1];
+      const double diag =
+          H(i - 1, j - 1) + (eq ? config.match_score : -config.mismatch_penalty);
+      const double up = H(i - 1, j) - config.gap_penalty;
+      const double left = H(i, j - 1) - config.gap_penalty;
+      const double v = std::max({0.0, diag, up, left});
+      H(i, j) = v;
+      if (v > r.best) {
+        r.best = v;
+        r.best_i = i;
+        r.best_j = j;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+double similarity(const Fingerprint& upload, const Fingerprint& database,
+                  const MatchingConfig& config) {
+  if (upload.empty() || database.empty()) return 0.0;
+  return run_dp(upload, database, config).best;
+}
+
+Alignment align(const Fingerprint& upload, const Fingerprint& database,
+                const MatchingConfig& config) {
+  Alignment out;
+  if (upload.empty() || database.empty()) return out;
+  const DpResult r = run_dp(upload, database, config);
+  out.score = r.best;
+  // Traceback from the best cell to the first zero cell.
+  auto H = [&](std::size_t i, std::size_t j) {
+    return r.h[i * r.cols + j];
+  };
+  std::size_t i = r.best_i, j = r.best_j;
+  while (i > 0 && j > 0 && H(i, j) > 0.0) {
+    const bool eq = upload.cells[i - 1] == database.cells[j - 1];
+    const double diag =
+        H(i - 1, j - 1) + (eq ? config.match_score : -config.mismatch_penalty);
+    if (H(i, j) == diag) {
+      eq ? ++out.matches : ++out.mismatches;
+      --i;
+      --j;
+    } else if (H(i, j) == H(i - 1, j) - config.gap_penalty) {
+      ++out.gaps;
+      --i;
+    } else {
+      ++out.gaps;
+      --j;
+    }
+  }
+  return out;
+}
+
+double max_similarity(const Fingerprint& a, const Fingerprint& b,
+                      const MatchingConfig& config) {
+  return config.match_score *
+         static_cast<double>(std::min(a.cells.size(), b.cells.size()));
+}
+
+}  // namespace bussense

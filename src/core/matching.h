@@ -1,0 +1,44 @@
+// Modified Smith–Waterman fingerprint matching (paper Section III-C.1).
+//
+// Cellular RSS magnitudes vary with conditions but the *rank order* of
+// towers at a location is stable, so two fingerprints (ordered cell-ID
+// sets) are compared by local sequence alignment over the IDs: match = +1,
+// mismatch = gap = −0.3 (the penalty the paper selected by sweeping 0.1–0.9).
+// The paper's Table I instance — upload {1,2,3,4,5} vs database {1,7,3,5} —
+// aligns with 3 matches, 1 gap and 1 mismatch for a score of 2.4.
+#pragma once
+
+#include <vector>
+
+#include "cellular/fingerprint.h"
+
+namespace bussense {
+
+struct MatchingConfig {
+  double match_score = 1.0;
+  double mismatch_penalty = 0.3;  ///< subtracted per aligned non-equal pair
+  double gap_penalty = 0.3;       ///< subtracted per skipped element
+};
+
+/// Similarity score of the optimal local alignment (>= 0).
+double similarity(const Fingerprint& upload, const Fingerprint& database,
+                  const MatchingConfig& config = {});
+
+/// Alignment with traceback statistics (for reporting and tests).
+struct Alignment {
+  double score = 0.0;
+  int matches = 0;
+  int mismatches = 0;
+  int gaps = 0;
+};
+
+Alignment align(const Fingerprint& upload, const Fingerprint& database,
+                const MatchingConfig& config = {});
+
+/// Largest attainable score: min of the two lengths, all matches. The
+/// clustering stage normalises score differences by the global maximum s0
+/// (= scanner max_towers = 7 in the paper's setting).
+double max_similarity(const Fingerprint& a, const Fingerprint& b,
+                      const MatchingConfig& config = {});
+
+}  // namespace bussense

@@ -1,0 +1,92 @@
+#include "core/region_inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bussense {
+
+RegionInference::RegionInference(const City& city, const SegmentCatalog& catalog,
+                                 RegionInferenceConfig config)
+    : city_(&city), catalog_(&catalog), config_(config) {
+  link_midpoints_.reserve(city.network().size());
+  for (const RoadLink& link : city.network().links()) {
+    link_midpoints_.push_back(link.path.point_at(link.path.length() / 2.0));
+  }
+}
+
+std::vector<LinkTrafficEstimate> RegionInference::infer(
+    const TrafficMap& map) const {
+  // Evidence: per observed map segment, a congestion level anchored at the
+  // segment's midpoint with the segment's dominant road class.
+  struct Evidence {
+    Point position;
+    double congestion;
+    RoadClass road_class;
+    double strength;  ///< length-proportional
+  };
+  std::vector<Evidence> evidence;
+  std::vector<char> directly_observed(city_->network().size(), 0);
+  std::vector<double> observed_speed(city_->network().size(), 0.0);
+  std::vector<double> observed_len(city_->network().size(), 0.0);
+  for (const MapSegment& seg : map.segments()) {
+    const SpanInfo* info = catalog_->adjacent(seg.key);
+    if (!info) continue;
+    const double congestion =
+        std::clamp(1.0 - seg.speed_kmh / info->free_speed_kmh, 0.0, 0.95);
+    const BusRoute& route = city_->route(info->route);
+    const Point mid =
+        route.path().point_at(0.5 * (info->arc_from + info->arc_to));
+    // Dominant link class of the span.
+    RoadClass cls = RoadClass::kArterial;
+    double best_len = -1.0;
+    for (const auto& [link, len] : info->links) {
+      if (len > best_len) {
+        best_len = len;
+        cls = city_->network().link(link).road_class;
+      }
+      const auto idx = static_cast<std::size_t>(link);
+      directly_observed[idx] = 1;
+      observed_speed[idx] += seg.speed_kmh * len;
+      observed_len[idx] += len;
+    }
+    evidence.push_back(Evidence{mid, congestion, cls, info->length_m});
+  }
+
+  std::vector<LinkTrafficEstimate> out;
+  out.reserve(city_->network().size());
+  const double h2 =
+      2.0 * config_.kernel_bandwidth_m * config_.kernel_bandwidth_m;
+  for (const RoadLink& link : city_->network().links()) {
+    const auto idx = static_cast<std::size_t>(link.id);
+    LinkTrafficEstimate est;
+    est.link = link.id;
+    if (directly_observed[idx]) {
+      est.observed = true;
+      est.speed_kmh = observed_speed[idx] / observed_len[idx];
+      est.congestion =
+          std::clamp(1.0 - est.speed_kmh / link.free_speed_kmh, 0.0, 0.95);
+      est.confidence = 1.0;
+      out.push_back(est);
+      continue;
+    }
+    double weight = 0.0;
+    double congestion = 0.0;
+    for (const Evidence& e : evidence) {
+      const double d = distance(link_midpoints_[idx], e.position);
+      double w = e.strength * std::exp(-d * d / h2);
+      if (e.road_class != link.road_class) w *= config_.cross_class_affinity;
+      weight += w;
+      congestion += w * e.congestion;
+    }
+    // Weight is in metres of evidence; normalise by one segment's worth.
+    const double mass = weight / 400.0;
+    if (mass < config_.min_total_weight) continue;  // abstain
+    est.congestion = congestion / weight;
+    est.speed_kmh = link.free_speed_kmh * (1.0 - est.congestion);
+    est.confidence = mass / (mass + 1.0);
+    out.push_back(est);
+  }
+  return out;
+}
+
+}  // namespace bussense

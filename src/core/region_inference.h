@@ -1,0 +1,56 @@
+// Region-level traffic inference (paper Section VI, future work).
+//
+// "Future work includes deriving the overall traffic of a region from the
+// bus covered road segments" — the bus network observes >50% of the road
+// length; this module extends the live traffic map to the *whole* network
+// by congestion transfer: each observed segment contributes its congestion
+// level (1 − v/free-speed) to nearby unobserved links through a Gaussian
+// spatial kernel, weighted up when road classes match (arterials congest
+// like arterials, side streets like side streets). An unobserved link's
+// speed is its own free speed scaled by the interpolated congestion.
+#pragma once
+
+#include <vector>
+
+#include "citynet/city.h"
+#include "core/segment_catalog.h"
+#include "core/traffic_map.h"
+
+namespace bussense {
+
+struct RegionInferenceConfig {
+  double kernel_bandwidth_m = 900.0;  ///< spatial correlation of congestion
+  /// Affinity multiplier for congestion transfer between different road
+  /// classes (same class = 1).
+  double cross_class_affinity = 0.4;
+  /// Below this total kernel weight the inference abstains for a link.
+  double min_total_weight = 0.05;
+};
+
+struct LinkTrafficEstimate {
+  SegmentId link = kInvalidSegment;
+  double speed_kmh = 0.0;
+  double congestion = 0.0;   ///< inferred 1 − v/free
+  double confidence = 0.0;   ///< saturating function of kernel mass
+  bool observed = false;     ///< true if a live map segment covers the link
+};
+
+class RegionInference {
+ public:
+  RegionInference(const City& city, const SegmentCatalog& catalog,
+                  RegionInferenceConfig config = {});
+
+  /// Extends a traffic-map snapshot to every link of the road network.
+  /// Links without enough nearby evidence are omitted.
+  std::vector<LinkTrafficEstimate> infer(const TrafficMap& map) const;
+
+  const RegionInferenceConfig& config() const { return config_; }
+
+ private:
+  const City* city_;
+  const SegmentCatalog* catalog_;
+  RegionInferenceConfig config_;
+  std::vector<Point> link_midpoints_;
+};
+
+}  // namespace bussense

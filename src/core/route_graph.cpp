@@ -1,0 +1,31 @@
+#include "core/route_graph.h"
+
+namespace bussense {
+
+RouteGraph::RouteGraph(const City& city) {
+  sequences_.reserve(city.routes().size());
+  for (const BusRoute& route : city.routes()) {
+    std::vector<StopId> seq;
+    seq.reserve(route.stop_count());
+    for (const RouteStop& rs : route.stops()) {
+      seq.push_back(city.effective_stop(rs.stop));
+    }
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      for (std::size_t j = i + 1; j < seq.size(); ++j) {
+        behind_.insert(key(seq[i], seq[j]));
+      }
+    }
+    sequences_.push_back(std::move(seq));
+  }
+}
+
+bool RouteGraph::reachable(StopId x, StopId y) const {
+  return behind_.contains(key(x, y));
+}
+
+int RouteGraph::relation(StopId x, StopId y) const {
+  if (x == y) return 1;
+  return reachable(x, y) ? 1 : -1;
+}
+
+}  // namespace bussense

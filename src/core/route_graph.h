@@ -1,0 +1,46 @@
+// Route order constraints over effective stops (paper Section III-C.3).
+//
+// R(x, y) = 1 if stop y lies behind (after) stop x on some directed route —
+// a bus could visit y after x, possibly skipping stops in between — or if
+// x == y; R(x, y) = −1 otherwise. The relation considers all routes, so a
+// trip spanning a transfer between concatenated routes is still scored
+// consistently.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "citynet/city.h"
+#include "citynet/types.h"
+
+namespace bussense {
+
+class RouteGraph {
+ public:
+  explicit RouteGraph(const City& city);
+
+  /// The paper's R(x, y) over effective stop ids.
+  int relation(StopId x, StopId y) const;
+
+  /// True if y is strictly behind x on some directed route.
+  bool reachable(StopId x, StopId y) const;
+
+  /// Effective stop sequence of a directed route.
+  const std::vector<StopId>& route_sequence(RouteId id) const {
+    return sequences_.at(static_cast<std::size_t>(id));
+  }
+
+  std::size_t route_count() const { return sequences_.size(); }
+
+ private:
+  static std::uint64_t key(StopId x, StopId y) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+           static_cast<std::uint32_t>(y);
+  }
+
+  std::vector<std::vector<StopId>> sequences_;
+  std::unordered_set<std::uint64_t> behind_;  ///< pairs (x, y) with y after x
+};
+
+}  // namespace bussense

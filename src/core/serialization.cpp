@@ -1,0 +1,123 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bussense {
+
+namespace {
+
+constexpr const char* kDbHeader = "bussense-stopdb v1";
+constexpr const char* kTripsHeader = "bussense-trips v1";
+
+std::string join_cells(const Fingerprint& fp) {
+  return fp.empty() ? "-" : to_string(fp);
+}
+
+Fingerprint parse_cells(const std::string& field) {
+  Fingerprint fp;
+  if (field == "-") return fp;
+  std::stringstream ss(field);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    try {
+      fp.cells.push_back(static_cast<CellId>(std::stol(token)));
+    } catch (const std::exception&) {
+      throw std::runtime_error("serialization: bad cell id '" + token + "'");
+    }
+  }
+  return fp;
+}
+
+}  // namespace
+
+void save_stop_database(const StopDatabase& database, std::ostream& os) {
+  os << kDbHeader << '\n';
+  for (const StopRecord& record : database.records()) {
+    os << "stop " << record.stop << ' ' << join_cells(record.fingerprint)
+       << '\n';
+  }
+}
+
+StopDatabase load_stop_database(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kDbHeader) {
+    throw std::runtime_error("serialization: missing stop-db header");
+  }
+  StopDatabase db;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string keyword, cells;
+    long stop = 0;
+    if (!(ss >> keyword >> stop >> cells) || keyword != "stop") {
+      throw std::runtime_error("serialization: bad stop-db line: " + line);
+    }
+    db.add(static_cast<StopId>(stop), parse_cells(cells));
+  }
+  return db;
+}
+
+void save_trips(const std::vector<TripUpload>& trips, std::ostream& os) {
+  os << kTripsHeader << '\n';
+  for (const TripUpload& trip : trips) {
+    os << "trip " << trip.participant_id << ' ' << trip.samples.size() << '\n';
+    for (const CellularSample& sample : trip.samples) {
+      os << "sample " << sample.time << ' ' << join_cells(sample.fingerprint)
+         << '\n';
+    }
+  }
+}
+
+std::vector<TripUpload> load_trips(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kTripsHeader) {
+    throw std::runtime_error("serialization: missing trips header");
+  }
+  std::vector<TripUpload> trips;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string keyword;
+    ss >> keyword;
+    if (keyword != "trip") {
+      throw std::runtime_error("serialization: expected trip line: " + line);
+    }
+    TripUpload trip;
+    std::size_t samples = 0;
+    if (!(ss >> trip.participant_id >> samples)) {
+      throw std::runtime_error("serialization: bad trip line: " + line);
+    }
+    trip.samples.reserve(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+      if (!std::getline(is, line)) {
+        throw std::runtime_error("serialization: truncated trip");
+      }
+      std::stringstream sl(line);
+      std::string cells;
+      CellularSample sample;
+      if (!(sl >> keyword >> sample.time >> cells) || keyword != "sample") {
+        throw std::runtime_error("serialization: bad sample line: " + line);
+      }
+      sample.fingerprint = parse_cells(cells);
+      trip.samples.push_back(std::move(sample));
+    }
+    trips.push_back(std::move(trip));
+  }
+  return trips;
+}
+
+void save_stop_database(const StopDatabase& database, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("serialization: cannot write " + path);
+  save_stop_database(database, os);
+}
+
+StopDatabase load_stop_database(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("serialization: cannot read " + path);
+  return load_stop_database(is);
+}
+
+}  // namespace bussense

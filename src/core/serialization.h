@@ -1,0 +1,34 @@
+// Plain-text serialization for the artefacts that cross process boundaries
+// in a real deployment: the surveyed stop-fingerprint database (built by
+// the war-walk tool, loaded by the server) and batches of trip uploads
+// (queued on phones, drained by the server).
+//
+// The formats are line-oriented and versioned:
+//
+//   bussense-stopdb v1          bussense-trips v1
+//   stop <id> <id,id,...>       trip <participant> <n>
+//   ...                         sample <time> <id,id,...>   (n lines)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/stop_database.h"
+#include "sensing/trip.h"
+
+namespace bussense {
+
+void save_stop_database(const StopDatabase& database, std::ostream& os);
+/// Throws std::runtime_error on malformed input.
+StopDatabase load_stop_database(std::istream& is);
+
+void save_trips(const std::vector<TripUpload>& trips, std::ostream& os);
+/// Throws std::runtime_error on malformed input.
+std::vector<TripUpload> load_trips(std::istream& is);
+
+/// Convenience: file-path overloads (throw std::runtime_error on IO errors).
+void save_stop_database(const StopDatabase& database, const std::string& path);
+StopDatabase load_stop_database(const std::string& path);
+
+}  // namespace bussense

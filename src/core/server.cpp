@@ -1,0 +1,96 @@
+#include "core/server.h"
+
+#include <algorithm>
+
+namespace bussense {
+
+TrafficServer::TrafficServer(const City& city, StopDatabase database,
+                             ServerConfig config)
+    : city_(&city),
+      database_(std::move(database)),
+      config_(config),
+      route_graph_(city),
+      catalog_(city),
+      matcher_(database_, config_.matcher),
+      mapper_(route_graph_),
+      estimator_(catalog_, config_.att),
+      fusion_(config_.fusion) {}
+
+std::vector<MatchedSample> TrafficServer::match_samples(
+    const TripUpload& trip, std::size_t* rejected) const {
+  std::vector<MatchedSample> matched;
+  std::size_t dropped = 0;
+  for (const CellularSample& sample : trip.samples) {
+    if (sample.fingerprint.empty()) {  // malformed or censored sample
+      ++dropped;
+      continue;
+    }
+    if (const auto result = matcher_.match(sample.fingerprint)) {
+      matched.push_back(MatchedSample{sample, result->stop, result->score});
+    } else {
+      ++dropped;
+    }
+  }
+  // Uploads come from unsynchronised phones over lossy links: never trust
+  // their sample ordering (the clustering stage requires time order).
+  std::stable_sort(matched.begin(), matched.end(),
+                   [](const MatchedSample& a, const MatchedSample& b) {
+                     return a.sample.time < b.sample.time;
+                   });
+  if (rejected) *rejected = dropped;
+  return matched;
+}
+
+std::vector<SampleCluster> TrafficServer::cluster(
+    const std::vector<MatchedSample>& matched) const {
+  if (config_.enable_clustering) {
+    return cluster_samples(matched, config_.clustering);
+  }
+  // Ablation: each sample becomes its own singleton cluster.
+  std::vector<SampleCluster> singletons;
+  singletons.reserve(matched.size());
+  for (const MatchedSample& m : matched) {
+    SampleCluster c;
+    c.members.push_back(m);
+    c.candidates.push_back(StopCandidate{m.stop, 1.0, m.score});
+    singletons.push_back(std::move(c));
+  }
+  return singletons;
+}
+
+MappedTrip TrafficServer::map(const std::vector<SampleCluster>& clusters) const {
+  if (config_.enable_trip_mapping) return mapper_.map_trip(clusters);
+  // Ablation: take each cluster's best candidate with no sequence reasoning.
+  MappedTrip trip;
+  for (const SampleCluster& c : clusters) {
+    trip.stops.push_back(MappedCluster{c, c.best_candidate().stop});
+  }
+  return trip;
+}
+
+TrafficServer::TripReport TrafficServer::analyze_trip(
+    const TripUpload& trip) const {
+  TripReport report;
+  report.matched = match_samples(trip, &report.rejected_samples);
+  const auto clusters = cluster(report.matched);
+  report.mapped = map(clusters);
+  report.estimates = estimator_.estimate(report.mapped);
+  return report;
+}
+
+void TrafficServer::ingest(const std::vector<SpeedEstimate>& estimates) {
+  for (const SpeedEstimate& e : estimates) fusion_.add(e);
+}
+
+TrafficServer::TripReport TrafficServer::process_trip(const TripUpload& trip) {
+  TripReport report = analyze_trip(trip);
+  ingest(report.estimates);
+  ++trips_processed_;
+  return report;
+}
+
+TrafficMap TrafficServer::snapshot(SimTime now, double max_age_s) const {
+  return TrafficMap::snapshot(fusion_, catalog_, now, max_age_s);
+}
+
+}  // namespace bussense

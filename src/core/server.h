@@ -1,0 +1,87 @@
+// Backend traffic-monitoring server: the full pipeline of Figure 4.
+//
+// receive trip → per-sample matching (γ filter) → per-bus-stop clustering →
+// per-trip ML mapping under route constraints → travel time extraction →
+// BTT→ATT model → Bayesian fusion → traffic map.
+#pragma once
+
+#include <cstdint>
+
+#include "citynet/city.h"
+#include "core/clustering.h"
+#include "core/fusion.h"
+#include "core/route_graph.h"
+#include "core/segment_catalog.h"
+#include "core/stop_matcher.h"
+#include "core/traffic_map.h"
+#include "core/travel_estimator.h"
+#include "core/trip_mapper.h"
+#include "sensing/trip.h"
+
+namespace bussense {
+
+struct ServerConfig {
+  StopMatcherConfig matcher;
+  ClusteringConfig clustering;
+  AttModelConfig att;
+  FusionConfig fusion;
+  /// Ablation switches (DESIGN.md A1/A5): when disabled, the pipeline falls
+  /// back to per-sample best matches / singleton clusters.
+  bool enable_trip_mapping = true;
+  bool enable_clustering = true;
+};
+
+class TrafficServer {
+ public:
+  TrafficServer(const City& city, StopDatabase database,
+                ServerConfig config = {});
+
+  /// Everything the pipeline derived from one trip (kept for evaluation).
+  struct TripReport {
+    std::vector<MatchedSample> matched;    ///< samples that passed γ
+    std::size_t rejected_samples = 0;      ///< below-γ samples discarded
+    MappedTrip mapped;                     ///< stop per cluster
+    std::vector<SpeedEstimate> estimates;  ///< per adjacent segment
+  };
+
+  /// Runs the full pipeline and folds the estimates into the fusion state.
+  TripReport process_trip(const TripUpload& trip);
+
+  /// The pure analysis part of process_trip: match → cluster → map →
+  /// estimate, touching no mutable state. Thread-safe against itself; the
+  /// concurrent front end (core/concurrent_server.h) builds on this split.
+  TripReport analyze_trip(const TripUpload& trip) const;
+
+  /// Folds estimates into the fusion state (the mutable half).
+  void ingest(const std::vector<SpeedEstimate>& estimates);
+
+  /// Pipeline stages exposed individually (benches and ablations).
+  std::vector<MatchedSample> match_samples(const TripUpload& trip,
+                                           std::size_t* rejected = nullptr) const;
+  std::vector<SampleCluster> cluster(const std::vector<MatchedSample>&) const;
+  MappedTrip map(const std::vector<SampleCluster>&) const;
+
+  void advance_time(SimTime now) { fusion_.flush_until(now); }
+  TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const;
+
+  const City& city() const { return *city_; }
+  const StopDatabase& database() const { return database_; }
+  const SegmentCatalog& catalog() const { return catalog_; }
+  const SpeedFusion& fusion() const { return fusion_; }
+  const RouteGraph& route_graph() const { return route_graph_; }
+  std::uint64_t trips_processed() const { return trips_processed_; }
+
+ private:
+  const City* city_;
+  StopDatabase database_;
+  ServerConfig config_;
+  RouteGraph route_graph_;
+  SegmentCatalog catalog_;
+  StopMatcher matcher_;
+  TripMapper mapper_;
+  TravelEstimator estimator_;
+  SpeedFusion fusion_;
+  std::uint64_t trips_processed_ = 0;
+};
+
+}  // namespace bussense

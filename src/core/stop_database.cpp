@@ -1,0 +1,65 @@
+#include "core/stop_database.h"
+
+#include <stdexcept>
+
+namespace bussense {
+
+void StopDatabase::add(StopId effective_stop, Fingerprint fingerprint) {
+  if (const auto it = index_.find(effective_stop); it != index_.end()) {
+    records_[it->second].fingerprint = std::move(fingerprint);
+    return;
+  }
+  index_.emplace(effective_stop, records_.size());
+  records_.push_back(StopRecord{effective_stop, std::move(fingerprint)});
+}
+
+const Fingerprint* StopDatabase::fingerprint_of(StopId effective_stop) const {
+  const auto it = index_.find(effective_stop);
+  if (it == index_.end()) return nullptr;
+  return &records_[it->second].fingerprint;
+}
+
+Fingerprint select_representative(const std::vector<Fingerprint>& samples,
+                                  const MatchingConfig& config) {
+  if (samples.empty()) {
+    throw std::invalid_argument("select_representative: no samples");
+  }
+  std::size_t best = 0;
+  double best_total = -1.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < samples.size(); ++j) {
+      if (i != j) total += similarity(samples[i], samples[j], config);
+    }
+    if (total > best_total) {
+      best_total = total;
+      best = i;
+    }
+  }
+  return samples[best];
+}
+
+StopDatabase build_stop_database(
+    const City& city,
+    const std::function<Fingerprint(StopId stop, int run)>& scan,
+    int runs_per_stop, const MatchingConfig& config) {
+  if (runs_per_stop < 1) {
+    throw std::invalid_argument("build_stop_database: runs_per_stop < 1");
+  }
+  StopDatabase db;
+  for (const BusStop& stop : city.stops()) {
+    const StopId eff = city.effective_stop(stop.id);
+    if (eff != stop.id) continue;  // twin handled via its canonical id
+    std::vector<Fingerprint> samples;
+    samples.reserve(static_cast<std::size_t>(runs_per_stop));
+    for (int r = 0; r < runs_per_stop; ++r) {
+      Fingerprint fp = scan(stop.id, r);
+      if (!fp.empty()) samples.push_back(std::move(fp));
+    }
+    if (samples.empty()) continue;
+    db.add(eff, select_representative(samples, config));
+  }
+  return db;
+}
+
+}  // namespace bussense

@@ -1,0 +1,57 @@
+// Bus stop fingerprint database (paper Sections III-B, IV-A).
+//
+// Keys are *effective* stop ids: opposite-side twins are aggregated into
+// one entry, since their fingerprints are nearly identical and the travel
+// direction disambiguates the side when mapping traffic (paper III-A). The
+// database is built by surveying each stop several times and storing the
+// sample with the highest total similarity to the rest (the medoid) — the
+// paper's "the sample with the highest similarity with the rest samples is
+// chosen as the fingerprint".
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cellular/fingerprint.h"
+#include "citynet/city.h"
+#include "core/matching.h"
+
+namespace bussense {
+
+struct StopRecord {
+  StopId stop = kInvalidStop;  ///< effective stop id
+  Fingerprint fingerprint;
+};
+
+class StopDatabase {
+ public:
+  /// Adds or replaces the fingerprint of an effective stop.
+  void add(StopId effective_stop, Fingerprint fingerprint);
+
+  const std::vector<StopRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  const Fingerprint* fingerprint_of(StopId effective_stop) const;
+
+ private:
+  std::vector<StopRecord> records_;
+  std::unordered_map<StopId, std::size_t> index_;
+};
+
+/// Medoid selection: the sample with the highest summed similarity to the
+/// other samples. Precondition: samples not empty.
+Fingerprint select_representative(const std::vector<Fingerprint>& samples,
+                                  const MatchingConfig& config = {});
+
+/// Builds a database for every effective stop of `city`. `scan` is invoked
+/// `runs_per_stop` times per effective stop (run index passed through) and
+/// should return one survey fingerprint — benches wire it to
+/// World::scan_stop.
+StopDatabase build_stop_database(
+    const City& city,
+    const std::function<Fingerprint(StopId stop, int run)>& scan,
+    int runs_per_stop, const MatchingConfig& config = {});
+
+}  // namespace bussense

@@ -1,0 +1,40 @@
+#include "core/stop_matcher.h"
+
+#include <algorithm>
+
+namespace bussense {
+
+StopMatcher::StopMatcher(const StopDatabase& database, StopMatcherConfig config)
+    : database_(&database), config_(config) {}
+
+std::optional<MatchResult> StopMatcher::match(const Fingerprint& sample) const {
+  std::optional<MatchResult> best;
+  for (const StopRecord& record : database_->records()) {
+    const double score = similarity(sample, record.fingerprint, config_.matching);
+    if (score < config_.accept_threshold) continue;
+    const int common = common_cell_count(sample, record.fingerprint);
+    const bool better =
+        !best || score > best->score ||
+        (score == best->score && common > best->common_cells);
+    if (better) best = MatchResult{record.stop, score, common};
+  }
+  return best;
+}
+
+std::vector<MatchResult> StopMatcher::match_all(const Fingerprint& sample) const {
+  std::vector<MatchResult> out;
+  for (const StopRecord& record : database_->records()) {
+    const double score = similarity(sample, record.fingerprint, config_.matching);
+    if (score >= config_.accept_threshold) {
+      out.push_back(MatchResult{record.stop, score,
+                                common_cell_count(sample, record.fingerprint)});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const MatchResult& a, const MatchResult& b) {
+    return a.score > b.score ||
+           (a.score == b.score && a.common_cells > b.common_cells);
+  });
+  return out;
+}
+
+}  // namespace bussense

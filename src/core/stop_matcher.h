@@ -1,0 +1,46 @@
+// Per-sample matching against the stop database (paper Section III-C.1).
+//
+// Each uploaded cellular sample is scored against every database
+// fingerprint with the modified Smith–Waterman similarity; the best-scoring
+// stop wins, ties broken by the larger number of common cell IDs. Samples
+// whose best score falls below the acceptance threshold γ (= 2, from the
+// Figure 2 measurement) are discarded as noise.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/matching.h"
+#include "core/stop_database.h"
+
+namespace bussense {
+
+struct StopMatcherConfig {
+  MatchingConfig matching;
+  double accept_threshold = 2.0;  ///< γ
+};
+
+struct MatchResult {
+  StopId stop = kInvalidStop;  ///< effective stop id
+  double score = 0.0;
+  int common_cells = 0;
+};
+
+class StopMatcher {
+ public:
+  StopMatcher(const StopDatabase& database, StopMatcherConfig config = {});
+
+  /// Best acceptable match, or nullopt if the best score is below γ.
+  std::optional<MatchResult> match(const Fingerprint& sample) const;
+
+  /// Every stop scoring >= γ, best first (diagnostics / ablations).
+  std::vector<MatchResult> match_all(const Fingerprint& sample) const;
+
+  const StopMatcherConfig& config() const { return config_; }
+
+ private:
+  const StopDatabase* database_;
+  StopMatcherConfig config_;
+};
+
+}  // namespace bussense

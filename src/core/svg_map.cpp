@@ -1,0 +1,117 @@
+#include "core/svg_map.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace bussense {
+
+std::string speed_level_color(SpeedLevel level) {
+  switch (level) {
+    case SpeedLevel::kVerySlow: return "#c62828";  // deep red
+    case SpeedLevel::kSlow: return "#ef6c00";      // orange
+    case SpeedLevel::kMedium: return "#f9a825";    // amber
+    case SpeedLevel::kFast: return "#9ccc65";      // light green
+    case SpeedLevel::kVeryFast: return "#2e7d32";  // green
+  }
+  return "#000000";
+}
+
+namespace {
+
+class SvgWriter {
+ public:
+  SvgWriter(std::ostream& os, const BoundingBox& region,
+            const SvgMapOptions& options)
+      : os_(os), region_(region), options_(options) {}
+
+  double x(double wx) const {
+    return (wx - region_.min.x) * options_.pixels_per_meter + kMargin;
+  }
+  double y(double wy) const {
+    // SVG y grows downward; world y grows north.
+    return (region_.max.y - wy) * options_.pixels_per_meter + kMargin;
+  }
+
+  void header() {
+    const double w = region_.width() * options_.pixels_per_meter + 2 * kMargin;
+    const double h = region_.height() * options_.pixels_per_meter + 2 * kMargin;
+    os_ << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w
+        << "\" height=\"" << h << "\" viewBox=\"0 0 " << w << ' ' << h
+        << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"#fafafa\"/>\n";
+  }
+
+  void polyline(const Polyline& path, const std::string& color, double width,
+                double opacity = 1.0) {
+    os_ << "<polyline fill=\"none\" stroke=\"" << color << "\" stroke-width=\""
+        << width << "\" stroke-opacity=\"" << opacity
+        << "\" stroke-linecap=\"round\" points=\"";
+    for (const Point& v : path.vertices()) {
+      os_ << x(v.x) << ',' << y(v.y) << ' ';
+    }
+    os_ << "\"/>\n";
+  }
+
+  void span(const BusRoute& route, double arc_from, double arc_to,
+            const std::string& color, double width) {
+    os_ << "<polyline fill=\"none\" stroke=\"" << color << "\" stroke-width=\""
+        << width << "\" stroke-linecap=\"round\" points=\"";
+    const double step = 40.0;
+    for (double arc = arc_from; arc < arc_to; arc += step) {
+      const Point p = route.path().point_at(arc);
+      os_ << x(p.x) << ',' << y(p.y) << ' ';
+    }
+    const Point last = route.path().point_at(arc_to);
+    os_ << x(last.x) << ',' << y(last.y) << "\"/>\n";
+  }
+
+  void circle(Point p, double r, const std::string& color) {
+    os_ << "<circle cx=\"" << x(p.x) << "\" cy=\"" << y(p.y) << "\" r=\"" << r
+        << "\" fill=\"" << color << "\"/>\n";
+  }
+
+  void footer() { os_ << "</svg>\n"; }
+
+  static constexpr double kMargin = 10.0;
+
+ private:
+  std::ostream& os_;
+  const BoundingBox& region_;
+  const SvgMapOptions& options_;
+};
+
+}  // namespace
+
+void write_svg_map(const TrafficMap& map, const SegmentCatalog& catalog,
+                   std::ostream& os, const SvgMapOptions& options) {
+  const City& city = catalog.city();
+  SvgWriter svg(os, city.region(), options);
+  svg.header();
+  // Base layer: the whole road network.
+  for (const RoadLink& link : city.network().links()) {
+    svg.polyline(link.path, "#cccccc", options.road_width_px);
+  }
+  // Live traffic layer.
+  for (const MapSegment& seg : map.segments()) {
+    const SpanInfo* info = catalog.adjacent(seg.key);
+    if (!info) continue;
+    svg.span(city.route(info->route), info->arc_from, info->arc_to,
+             speed_level_color(seg.level), options.traffic_width_px);
+  }
+  // Stops on top.
+  if (options.draw_stops) {
+    for (const BusStop& stop : city.stops()) {
+      svg.circle(stop.position, options.stop_radius_px, "#424242");
+    }
+  }
+  svg.footer();
+}
+
+void write_svg_map(const TrafficMap& map, const SegmentCatalog& catalog,
+                   const std::string& path, const SvgMapOptions& options) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_svg_map: cannot write " + path);
+  write_svg_map(map, catalog, os, options);
+}
+
+}  // namespace bussense

@@ -1,0 +1,34 @@
+// SVG rendering of the city traffic map (the shareable counterpart of the
+// terminal ASCII view) — roads, bus stops and live segment speeds in the
+// paper's five-level colour scheme.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/traffic_map.h"
+
+namespace bussense {
+
+struct SvgMapOptions {
+  double pixels_per_meter = 0.12;  ///< 7 km -> 840 px wide
+  double road_width_px = 1.5;
+  double traffic_width_px = 4.0;
+  bool draw_stops = true;
+  double stop_radius_px = 1.8;
+};
+
+/// Writes a complete SVG document: grey road network, black bus stops, and
+/// the map's live segments coloured by speed level (red = <20 km/h …
+/// green = >50 km/h).
+void write_svg_map(const TrafficMap& map, const SegmentCatalog& catalog,
+                   std::ostream& os, const SvgMapOptions& options = {});
+
+/// Convenience overload writing to a file (throws std::runtime_error).
+void write_svg_map(const TrafficMap& map, const SegmentCatalog& catalog,
+                   const std::string& path, const SvgMapOptions& options = {});
+
+/// Hex colour of a display level (exposed for tests/legends).
+std::string speed_level_color(SpeedLevel level);
+
+}  // namespace bussense

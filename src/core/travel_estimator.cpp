@@ -1,0 +1,56 @@
+#include "core/travel_estimator.h"
+
+#include <algorithm>
+
+namespace bussense {
+
+TravelEstimator::TravelEstimator(const SegmentCatalog& catalog,
+                                 AttModelConfig config)
+    : catalog_(&catalog), config_(config) {}
+
+double TravelEstimator::free_bus_time_s(double length_m,
+                                        double free_speed_kmh) const {
+  const double free_bus_kmh = config_.bus_free_factor * free_speed_kmh;
+  return (length_m / 1000.0) / free_bus_kmh * 3600.0 + config_.stop_overhead_s;
+}
+
+double TravelEstimator::att_seconds(double btt_s, double length_m,
+                                    double free_speed_kmh) const {
+  const double a = (length_m / 1000.0) / free_speed_kmh * 3600.0;
+  const double excess =
+      std::max(0.0, btt_s - free_bus_time_s(length_m, free_speed_kmh));
+  return a + config_.b * excess;
+}
+
+std::vector<SpeedEstimate> TravelEstimator::estimate(const MappedTrip& trip) const {
+  std::vector<SpeedEstimate> out;
+  for (std::size_t k = 0; k + 1 < trip.stops.size(); ++k) {
+    const MappedCluster& from = trip.stops[k];
+    const MappedCluster& to = trip.stops[k + 1];
+    if (from.stop == to.stop) continue;  // split cluster at one stop
+    const SimTime depart = from.cluster.departure_time();
+    const SimTime arrive = to.cluster.arrival_time();
+    const double btt = arrive - depart;
+    if (btt <= 0.0) continue;
+    const auto span = catalog_->span(SegmentKey{from.stop, to.stop});
+    if (!span) continue;  // residual mapping error: no route serves the pair
+    const double att = att_seconds(btt, span->length_m, span->free_speed_kmh);
+    if (att <= 0.0) continue;
+    const double speed_kmh = (span->length_m / 1000.0) / (att / 3600.0);
+    SpeedEstimate base;
+    base.route = span->route;
+    base.time = 0.5 * (depart + arrive);
+    base.att_speed_kmh = speed_kmh;
+    base.btt_s = btt;
+    base.span_length_m = span->length_m;
+    for (const SegmentKey& adj :
+         catalog_->adjacent_chain(SegmentKey{from.stop, to.stop})) {
+      SpeedEstimate e = base;
+      e.segment = adj;
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace bussense

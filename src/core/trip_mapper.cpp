@@ -1,0 +1,116 @@
+#include "core/trip_mapper.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace bussense {
+
+double TripMapper::sequence_score(const std::vector<SampleCluster>& clusters,
+                                  const std::vector<int>& choice) const {
+  if (choice.size() != clusters.size()) {
+    throw std::invalid_argument("sequence_score: choice size mismatch");
+  }
+  double score = 0.0;
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    const StopCandidate& c =
+        clusters[k].candidates.at(static_cast<std::size_t>(choice[k]));
+    const double term = c.probability * c.mean_similarity;
+    if (k == 0) {
+      score += term;
+    } else {
+      const StopCandidate& prev = clusters[k - 1].candidates.at(
+          static_cast<std::size_t>(choice[k - 1]));
+      score += term * graph_->relation(prev.stop, c.stop);
+    }
+  }
+  return score;
+}
+
+MappedTrip TripMapper::map_trip(const std::vector<SampleCluster>& clusters) const {
+  MappedTrip out;
+  if (clusters.empty()) return out;
+  const double neg_inf = -std::numeric_limits<double>::infinity();
+
+  // value[k][c]: best objective of a prefix ending with candidate c of
+  // cluster k; parent[k][c]: argmax predecessor.
+  std::vector<std::vector<double>> value(clusters.size());
+  std::vector<std::vector<int>> parent(clusters.size());
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    if (clusters[k].candidates.empty()) {
+      throw std::invalid_argument("map_trip: cluster without candidates");
+    }
+    value[k].assign(clusters[k].candidates.size(), neg_inf);
+    parent[k].assign(clusters[k].candidates.size(), -1);
+  }
+  for (std::size_t c = 0; c < clusters[0].candidates.size(); ++c) {
+    const StopCandidate& cand = clusters[0].candidates[c];
+    value[0][c] = cand.probability * cand.mean_similarity;
+  }
+  for (std::size_t k = 1; k < clusters.size(); ++k) {
+    for (std::size_t c = 0; c < clusters[k].candidates.size(); ++c) {
+      const StopCandidate& cand = clusters[k].candidates[c];
+      const double term = cand.probability * cand.mean_similarity;
+      for (std::size_t p = 0; p < clusters[k - 1].candidates.size(); ++p) {
+        const StopCandidate& prev = clusters[k - 1].candidates[p];
+        const double v =
+            value[k - 1][p] + term * graph_->relation(prev.stop, cand.stop);
+        if (v > value[k][c]) {
+          value[k][c] = v;
+          parent[k][c] = static_cast<int>(p);
+        }
+      }
+    }
+  }
+  // Select the best terminal candidate and trace back.
+  std::size_t best_c = 0;
+  const std::size_t last = clusters.size() - 1;
+  for (std::size_t c = 1; c < clusters[last].candidates.size(); ++c) {
+    if (value[last][c] > value[last][best_c]) best_c = c;
+  }
+  out.likelihood = value[last][best_c];
+  std::vector<int> choice(clusters.size());
+  int c = static_cast<int>(best_c);
+  for (std::size_t k = clusters.size(); k-- > 0;) {
+    choice[k] = c;
+    c = parent[k][static_cast<std::size_t>(c)];
+  }
+  out.stops.reserve(clusters.size());
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    out.stops.push_back(MappedCluster{
+        clusters[k],
+        clusters[k].candidates[static_cast<std::size_t>(choice[k])].stop});
+  }
+  return out;
+}
+
+MappedTrip TripMapper::map_trip_exhaustive(
+    const std::vector<SampleCluster>& clusters) const {
+  MappedTrip out;
+  if (clusters.empty()) return out;
+  std::vector<int> choice(clusters.size(), 0);
+  std::vector<int> best_choice;
+  double best = -std::numeric_limits<double>::infinity();
+  while (true) {
+    const double s = sequence_score(clusters, choice);
+    if (s > best) {
+      best = s;
+      best_choice = choice;
+    }
+    // Advance the mixed-radix counter.
+    std::size_t k = 0;
+    for (; k < clusters.size(); ++k) {
+      if (++choice[k] < static_cast<int>(clusters[k].candidates.size())) break;
+      choice[k] = 0;
+    }
+    if (k == clusters.size()) break;
+  }
+  out.likelihood = best;
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    out.stops.push_back(MappedCluster{
+        clusters[k],
+        clusters[k].candidates[static_cast<std::size_t>(best_choice[k])].stop});
+  }
+  return out;
+}
+
+}  // namespace bussense

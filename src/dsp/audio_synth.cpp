@@ -1,0 +1,83 @@
+#include "dsp/audio_synth.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bussense {
+
+std::vector<float> synthesize_bus_audio(const AudioEnvironmentConfig& config,
+                                        double duration_s,
+                                        const std::vector<SimTime>& beep_times,
+                                        Rng& rng) {
+  if (duration_s <= 0.0) {
+    throw std::invalid_argument("synthesize_bus_audio: non-positive duration");
+  }
+  const double fs = config.sample_rate_hz;
+  const auto n = static_cast<std::size_t>(duration_s * fs);
+  std::vector<float> audio(n, 0.0f);
+
+  // Engine rumble: a few slowly drifting low-frequency components.
+  struct Tone {
+    double freq;
+    double phase;
+    double amp;
+  };
+  std::vector<Tone> rumble;
+  for (int i = 0; i < 4; ++i) {
+    rumble.push_back(Tone{rng.uniform(40.0, 180.0), rng.uniform(0.0, 6.28),
+                          config.engine_rumble_amplitude * rng.uniform(0.4, 1.0)});
+  }
+  // Babble: broad mid-band components that come and go; modelled as a small
+  // set of tones with random amplitude modulation.
+  std::vector<Tone> babble;
+  for (int i = 0; i < 6; ++i) {
+    babble.push_back(Tone{rng.uniform(300.0, 2200.0), rng.uniform(0.0, 6.28),
+                          config.babble_amplitude * rng.uniform(0.2, 1.0)});
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    double x = rng.normal(0.0, config.white_noise_rms);
+    for (const Tone& tone : rumble) {
+      x += tone.amp * std::sin(2.0 * std::numbers::pi * tone.freq * t + tone.phase);
+    }
+    for (const Tone& tone : babble) {
+      // Slow ~1 Hz amplitude modulation so babble is non-stationary.
+      const double am = 0.5 * (1.0 + std::sin(2.0 * std::numbers::pi * 0.7 * t +
+                                              tone.phase * 1.7));
+      x += am * tone.amp *
+           std::sin(2.0 * std::numbers::pi * tone.freq * t + tone.phase);
+    }
+    audio[i] = static_cast<float>(x);
+  }
+
+  // Overlay the beeps: dual-tone bursts with a short attack/release ramp so
+  // they resemble a card-reader chirp rather than a hard-keyed tone.
+  const auto beep_len = static_cast<std::size_t>(config.beep_duration_s * fs);
+  const std::size_t ramp = std::max<std::size_t>(1, beep_len / 10);
+  for (SimTime bt : beep_times) {
+    if (bt < 0.0 || bt >= duration_s) continue;
+    const auto start = static_cast<std::size_t>(bt * fs);
+    for (std::size_t k = 0; k < beep_len && start + k < n; ++k) {
+      const double t = static_cast<double>(k) / fs;
+      double envelope = 1.0;
+      if (k < ramp) envelope = static_cast<double>(k) / static_cast<double>(ramp);
+      const std::size_t from_end = beep_len - 1 - k;
+      if (from_end < ramp) {
+        envelope = std::min(envelope,
+                            static_cast<double>(from_end) / static_cast<double>(ramp));
+      }
+      double tone = 0.0;
+      for (double f : config.tone_frequencies_hz) {
+        tone += std::sin(2.0 * std::numbers::pi * f * t);
+      }
+      tone *= config.beep_amplitude / static_cast<double>(
+                                          config.tone_frequencies_hz.size());
+      audio[start + k] += static_cast<float>(envelope * tone);
+    }
+  }
+  return audio;
+}
+
+}  // namespace bussense

@@ -1,0 +1,37 @@
+// Synthetic in-bus audio environment.
+//
+// Stands in for the phone microphone on a real bus (substitution documented
+// in DESIGN.md Section 2): card-reader beeps are dual-tone bursts, the
+// background mixes engine rumble, white sensor noise and crowd babble. The
+// synthesiser drives the beep detector end-to-end in tests, the DSP bench
+// and the quickstart example.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace bussense {
+
+struct AudioEnvironmentConfig {
+  double sample_rate_hz = 8000.0;
+  /// Beep tone components and their relative amplitudes.
+  std::vector<double> tone_frequencies_hz = {1000.0, 3000.0};
+  double beep_amplitude = 0.30;
+  double beep_duration_s = 0.10;
+  /// Background levels (signal units; beep SNR follows from the ratios).
+  double white_noise_rms = 0.02;
+  double engine_rumble_amplitude = 0.08;  ///< low-frequency (< 200 Hz) rumble
+  double babble_amplitude = 0.03;         ///< mid-band crowd noise
+};
+
+/// Renders `duration_s` of bus audio containing beeps at `beep_times`
+/// (seconds from the start of the rendered clip; beeps outside the clip are
+/// ignored). Deterministic given `rng`.
+std::vector<float> synthesize_bus_audio(const AudioEnvironmentConfig& config,
+                                        double duration_s,
+                                        const std::vector<SimTime>& beep_times,
+                                        Rng& rng);
+
+}  // namespace bussense

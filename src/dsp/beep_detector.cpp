@@ -1,0 +1,120 @@
+#include "dsp/beep_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/goertzel.h"
+
+namespace bussense {
+
+namespace {
+// Baseline needs at least this many frames before detections are armed.
+constexpr std::size_t kMinBaselineFrames = 10;
+}  // namespace
+
+BeepDetector::BeepDetector(BeepDetectorConfig config)
+    : config_(std::move(config)),
+      frame_len_(static_cast<std::size_t>(config_.sample_rate_hz *
+                                          config_.frame_seconds)),
+      smooth_frames_(std::max<std::size_t>(
+          1, static_cast<std::size_t>(config_.smoothing_seconds /
+                                      config_.frame_seconds))) {
+  if (frame_len_ == 0) {
+    throw std::invalid_argument("BeepDetector: frame too short for sample rate");
+  }
+  if (config_.tone_frequencies_hz.empty()) {
+    throw std::invalid_argument("BeepDetector: no tone frequencies");
+  }
+  for (double f : config_.tone_frequencies_hz) {
+    bands_.push_back(Band{f, {}, 0.0});
+    recent_raw_.emplace_back();
+  }
+  frame_buf_.reserve(frame_len_);
+}
+
+std::vector<BeepEvent> BeepDetector::process(std::span<const float> samples) {
+  std::vector<BeepEvent> events;
+  for (float s : samples) {
+    frame_buf_.push_back(s);
+    ++samples_consumed_;
+    if (frame_buf_.size() == frame_len_) {
+      finish_frame(events);
+      frame_buf_.clear();
+    }
+  }
+  return events;
+}
+
+void BeepDetector::finish_frame(std::vector<BeepEvent>& events) {
+  ++frames_;
+  // Wideband frame energy used to normalise the tone powers, making the
+  // detector robust to overall volume (pocket vs hand-held phone).
+  double frame_energy = 0.0;
+  for (float s : frame_buf_) frame_energy += static_cast<double>(s) * s;
+  frame_energy /= static_cast<double>(frame_len_);
+  const double norm = frame_energy + 1e-12;
+
+  double min_jump_sigmas = std::numeric_limits<double>::infinity();
+  bool baseline_ready = true;
+  bool bands_strong = true;
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    Band& band = bands_[b];
+    const double raw =
+        goertzel_power(frame_buf_, config_.sample_rate_hz, band.frequency) / norm;
+    auto& recent = recent_raw_[b];
+    recent.push_back(raw);
+    if (recent.size() > smooth_frames_) recent.erase(recent.begin());
+    double sum = 0.0;
+    for (double v : recent) sum += v;
+    band.smoothed = sum / static_cast<double>(recent.size());
+    // The Goertzel power of an in-band tone scales with ~N/2 of the frame
+    // energy share; compare against the frame-normalised level accordingly.
+    const double band_fraction =
+        band.smoothed / (0.5 * static_cast<double>(frame_len_));
+    bands_strong = bands_strong && band_fraction >= config_.min_band_fraction;
+
+    if (band.smooth_buf.size() < kMinBaselineFrames) {
+      baseline_ready = false;
+    } else {
+      double mean = 0.0;
+      for (double v : band.smooth_buf) mean += v;
+      mean /= static_cast<double>(band.smooth_buf.size());
+      double var = 0.0;
+      for (double v : band.smooth_buf) var += (v - mean) * (v - mean);
+      var /= static_cast<double>(band.smooth_buf.size());
+      // Deviation floor: slow amplitude modulation of the background (crowd
+      // babble) shrinks neither to silence nor to beep-scale jumps; tying
+      // the floor to the baseline mean keeps 3-sigma meaningful.
+      const double sigma =
+          std::max(std::sqrt(var), config_.sigma_floor_fraction * mean + 1e-12);
+      min_jump_sigmas =
+          std::min(min_jump_sigmas, (band.smoothed - mean) / sigma);
+    }
+  }
+
+  const SimTime frame_start =
+      origin_ + static_cast<double>(samples_consumed_ - frame_len_) /
+                    config_.sample_rate_hz;
+
+  const bool triggered = baseline_ready && bands_strong &&
+                         min_jump_sigmas >= config_.threshold_sigmas;
+  if (triggered &&
+      frame_start - last_event_time_ >= config_.refractory_seconds) {
+    events.push_back(BeepEvent{frame_start, min_jump_sigmas});
+    last_event_time_ = frame_start;
+  }
+
+  // Keep the baseline clean: frames that look like a beep are excluded so
+  // one beep does not desensitise the detector to the next.
+  if (!baseline_ready || min_jump_sigmas < config_.threshold_sigmas) {
+    for (Band& band : bands_) {
+      band.smooth_buf.push_back(band.smoothed);
+      if (band.smooth_buf.size() > config_.baseline_frames) {
+        band.smooth_buf.erase(band.smooth_buf.begin());
+      }
+    }
+  }
+}
+
+}  // namespace bussense

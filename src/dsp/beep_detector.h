@@ -1,0 +1,83 @@
+// IC-card beep detector (paper Section III-B, "Bus riders").
+//
+// The detector monitors the card-reader tone frequencies with Goertzel
+// filters over short frames, normalises band power against a wideband
+// reference, smooths with a 30 ms sliding window, and declares a beep when
+// every monitored band jumps more than three standard deviations above its
+// recent baseline. A refractory period collapses one physical beep into one
+// detection event.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace bussense {
+
+struct BeepDetectorConfig {
+  double sample_rate_hz = 8000.0;
+  /// Tone components of the card-reader beep. Singapore EZ-link readers emit
+  /// a 1 kHz + 3 kHz combination; London Oyster uses a single 2.4 kHz tone.
+  std::vector<double> tone_frequencies_hz = {1000.0, 3000.0};
+  /// Analysis frame length (one Goertzel evaluation per frame).
+  double frame_seconds = 0.010;
+  /// Smoothing window over frame powers; the paper uses w = 30 ms.
+  double smoothing_seconds = 0.030;
+  /// Jump threshold in baseline standard deviations (paper: 3 sigma).
+  double threshold_sigmas = 3.0;
+  /// Number of past frames forming the noise baseline.
+  std::size_t baseline_frames = 50;
+  /// Deviation floor as a fraction of the baseline mean: slow modulation of
+  /// background noise (crowd babble) must not read as a 3-sigma jump.
+  double sigma_floor_fraction = 0.25;
+  /// A tone band must also hold at least this fraction of the frame's total
+  /// energy — a beep concentrates energy at its tones, babble does not.
+  double min_band_fraction = 0.04;
+  /// Minimum spacing between two distinct detections.
+  double refractory_seconds = 0.25;
+};
+
+struct BeepEvent {
+  SimTime time = 0.0;       ///< time of the triggering frame start
+  double strength = 0.0;    ///< smallest per-band jump, in baseline sigmas
+};
+
+/// Streaming detector: feed audio in arbitrary chunks, collect events.
+class BeepDetector {
+ public:
+  explicit BeepDetector(BeepDetectorConfig config = {});
+
+  /// Processes `samples` starting at stream time implied by samples already
+  /// consumed. Returns events detected within this chunk.
+  std::vector<BeepEvent> process(std::span<const float> samples);
+
+  /// Stream time origin; event times are origin + sample offset.
+  void set_origin(SimTime origin) { origin_ = origin; }
+
+  const BeepDetectorConfig& config() const { return config_; }
+  std::size_t frames_processed() const { return frames_; }
+
+ private:
+  void finish_frame(std::vector<BeepEvent>& events);
+
+  BeepDetectorConfig config_;
+  std::size_t frame_len_;
+  std::vector<float> frame_buf_;
+  SimTime origin_ = 0.0;
+  std::size_t samples_consumed_ = 0;
+  std::size_t frames_ = 0;
+  // Per-band state.
+  struct Band {
+    double frequency;
+    std::vector<double> smooth_buf;   // recent smoothed powers (baseline)
+    double smoothed = 0.0;
+  };
+  std::vector<Band> bands_;
+  std::size_t smooth_frames_;
+  std::vector<std::vector<double>> recent_raw_;  // per band, last frames for smoothing
+  double last_event_time_ = -1e18;
+};
+
+}  // namespace bussense

@@ -1,0 +1,81 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bussense {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  if (n < 2 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft_inplace: size must be a power of two >= 2");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const float> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("fft_real: empty window");
+  }
+  std::vector<std::complex<double>> data(next_pow2(samples.size()));
+  for (std::size_t i = 0; i < samples.size(); ++i) data[i] = samples[i];
+  if (data.size() < 2) data.resize(2);
+  fft_inplace(data);
+  return data;
+}
+
+std::vector<double> power_spectrum(std::span<const float> samples) {
+  const auto spec = fft_real(samples);
+  const std::size_t half = spec.size() / 2;
+  std::vector<double> power(half + 1);
+  for (std::size_t k = 0; k <= half; ++k) {
+    power[k] = std::norm(spec[k]) / static_cast<double>(samples.size());
+  }
+  return power;
+}
+
+double fft_bin_power(std::span<const float> samples, double sample_rate_hz,
+                     double frequency_hz) {
+  const auto power = power_spectrum(samples);
+  const std::size_t fft_size = next_pow2(samples.size());
+  const double bin_width = sample_rate_hz / static_cast<double>(fft_size);
+  auto bin = static_cast<std::size_t>(std::lround(frequency_hz / bin_width));
+  if (bin >= power.size()) bin = power.size() - 1;
+  return power[bin];
+}
+
+std::size_t fft_op_count(std::size_t n) {
+  const std::size_t p = next_pow2(n);
+  std::size_t log2p = 0;
+  while ((std::size_t{1} << log2p) < p) ++log2p;
+  return p / 2 * log2p;  // butterflies
+}
+
+}  // namespace bussense

@@ -1,0 +1,40 @@
+// Radix-2 iterative FFT.
+//
+// The FFT is the baseline the paper replaced with Goertzel for beep
+// detection (their earlier bus-arrival work used FFT). We implement it both
+// as that baseline and for test cross-validation of the Goertzel bins.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bussense {
+
+/// In-place radix-2 decimation-in-time FFT.
+/// Precondition: data.size() is a power of two and >= 2.
+void fft_inplace(std::vector<std::complex<double>>& data);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+std::vector<std::complex<double>> fft_real(std::span<const float> samples);
+
+/// One-sided power spectrum normalised by window length: bin k corresponds
+/// to frequency k * sample_rate / fft_size, k in [0, fft_size/2].
+std::vector<double> power_spectrum(std::span<const float> samples);
+
+/// Power of the spectrum bin nearest `frequency_hz` (FFT-based equivalent of
+/// goertzel_power, used to cross-check the two implementations).
+double fft_bin_power(std::span<const float> samples, double sample_rate_hz,
+                     double frequency_hz);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// Multiply-add cost model of the radix-2 FFT for window size `n` (padded to
+/// a power of two): the K_f * N log N term of the paper's comparison. The
+/// constant per butterfly is larger than Goertzel's per-sample constant; we
+/// expose the butterfly count and let the power model apply K_f.
+std::size_t fft_op_count(std::size_t n);
+
+}  // namespace bussense

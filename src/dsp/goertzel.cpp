@@ -1,0 +1,67 @@
+#include "dsp/goertzel.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bussense {
+
+namespace {
+double goertzel_coeff(double sample_rate_hz, double frequency_hz) {
+  if (frequency_hz <= 0.0 || frequency_hz >= sample_rate_hz / 2.0) {
+    throw std::invalid_argument("Goertzel frequency must be in (0, Nyquist)");
+  }
+  const double omega = 2.0 * std::numbers::pi * frequency_hz / sample_rate_hz;
+  return 2.0 * std::cos(omega);
+}
+}  // namespace
+
+double goertzel_power(std::span<const float> samples, double sample_rate_hz,
+                      double frequency_hz) {
+  if (samples.empty()) {
+    throw std::invalid_argument("goertzel_power: empty window");
+  }
+  const double coeff = goertzel_coeff(sample_rate_hz, frequency_hz);
+  double s1 = 0.0, s2 = 0.0;
+  for (float x : samples) {
+    const double s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  const double power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+  return power / static_cast<double>(samples.size());
+}
+
+std::vector<double> goertzel_powers(std::span<const float> samples,
+                                    double sample_rate_hz,
+                                    std::span<const double> frequencies_hz) {
+  std::vector<double> out;
+  out.reserve(frequencies_hz.size());
+  for (double f : frequencies_hz) {
+    out.push_back(goertzel_power(samples, sample_rate_hz, f));
+  }
+  return out;
+}
+
+GoertzelFilter::GoertzelFilter(double sample_rate_hz, double frequency_hz)
+    : coeff_(goertzel_coeff(sample_rate_hz, frequency_hz)) {}
+
+void GoertzelFilter::reset() {
+  s1_ = s2_ = 0.0;
+  n_ = 0;
+}
+
+void GoertzelFilter::push(float sample) {
+  const double s0 = sample + coeff_ * s1_ - s2_;
+  s2_ = s1_;
+  s1_ = s0;
+  ++n_;
+}
+
+double GoertzelFilter::power() const {
+  if (n_ == 0) return 0.0;
+  const double power = s1_ * s1_ + s2_ * s2_ - coeff_ * s1_ * s2_;
+  return power / static_cast<double>(n_);
+}
+
+}  // namespace bussense

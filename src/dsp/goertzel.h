@@ -1,0 +1,53 @@
+// Goertzel algorithm — single-bin DFT power extraction.
+//
+// The paper detects IC-card beeps by monitoring a small, known set of audio
+// frequencies (1 kHz + 3 kHz in Singapore). Goertzel computes the power at
+// one frequency in O(N) multiply-adds, so for M target frequencies it costs
+// O(K_g * N * M) versus the FFT's O(K_f * N log N) for all bins; when
+// M < log2(N) (here M = 2 and log2(240) ~ 7.9) Goertzel wins, which is the
+// paper's Section IV-D energy argument.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bussense {
+
+/// Power of the frequency bin nearest `frequency_hz` over `samples`,
+/// normalised by the window length so windows of different sizes compare.
+/// Preconditions: !samples.empty(), 0 < frequency_hz < sample_rate_hz / 2.
+double goertzel_power(std::span<const float> samples, double sample_rate_hz,
+                      double frequency_hz);
+
+/// Powers for several target frequencies over the same window. Returns one
+/// value per entry of `frequencies_hz`, in order.
+std::vector<double> goertzel_powers(std::span<const float> samples,
+                                    double sample_rate_hz,
+                                    std::span<const double> frequencies_hz);
+
+/// Streaming form: feed samples incrementally, read power per window.
+class GoertzelFilter {
+ public:
+  GoertzelFilter(double sample_rate_hz, double frequency_hz);
+
+  void reset();
+  void push(float sample);
+  /// Power of the accumulated window, normalised by its length.
+  double power() const;
+  std::size_t samples_seen() const { return n_; }
+
+ private:
+  double coeff_;
+  double s1_ = 0.0;
+  double s2_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Multiply-add operation count of Goertzel for window size `n` and `m`
+/// monitored frequencies — the K_g * N * M term of the paper's cost model.
+constexpr std::size_t goertzel_op_count(std::size_t n, std::size_t m) {
+  return n * m;  // one multiply-add per sample per frequency
+}
+
+}  // namespace bussense

@@ -1,0 +1,59 @@
+// Fixed-capacity sliding-window statistics over a scalar stream.
+//
+// The beep detector smooths band power with the paper's w = 30 ms averaging
+// window and thresholds jumps at three standard deviations of the recent
+// history; this class provides both the mean and the deviation estimate.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+namespace bussense {
+
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("SlidingWindow capacity 0");
+  }
+
+  void push(double x) {
+    buf_.push_back(x);
+    sum_ += x;
+    sum2_ += x * x;
+    if (buf_.size() > capacity_) {
+      const double old = buf_.front();
+      buf_.pop_front();
+      sum_ -= old;
+      sum2_ -= old * old;
+    }
+  }
+
+  bool full() const { return buf_.size() == capacity_; }
+  std::size_t size() const { return buf_.size(); }
+
+  double mean() const {
+    return buf_.empty() ? 0.0 : sum_ / static_cast<double>(buf_.size());
+  }
+
+  double stddev() const {
+    if (buf_.size() < 2) return 0.0;
+    const double n = static_cast<double>(buf_.size());
+    const double var = (sum2_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+  void clear() {
+    buf_.clear();
+    sum_ = sum2_ = 0.0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> buf_;
+  double sum_ = 0.0;
+  double sum2_ = 0.0;
+};
+
+}  // namespace bussense

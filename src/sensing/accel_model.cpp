@@ -1,0 +1,17 @@
+#include "sensing/accel_model.h"
+
+namespace bussense {
+
+double AccelModel::sample_variance(VehicleClass vehicle, Rng& rng) const {
+  switch (vehicle) {
+    case VehicleClass::kBus:
+      return rng.lognormal_median(config_.bus_variance_median,
+                                  config_.bus_variance_sigma);
+    case VehicleClass::kRapidTrain:
+      return rng.lognormal_median(config_.train_variance_median,
+                                  config_.train_variance_sigma);
+  }
+  return 0.0;  // unreachable
+}
+
+}  // namespace bussense

@@ -1,0 +1,43 @@
+// Accelerometer vehicle-mode model (paper Section III-B).
+//
+// The phone filters out rapid-train rides (trains share the same IC-card
+// readers) by thresholding the variance of the acceleration magnitude:
+// buses accelerate, brake and turn frequently, trains run smoothly. We
+// model the measured variance over a short window for each vehicle class.
+#pragma once
+
+#include "common/rng.h"
+
+namespace bussense {
+
+enum class VehicleClass {
+  kBus,
+  kRapidTrain,
+};
+
+struct AccelModelConfig {
+  /// Typical accel-magnitude variance ((m/s^2)^2) over a detection window.
+  double bus_variance_median = 0.70;
+  double bus_variance_sigma = 0.35;    ///< log-normal shape
+  double train_variance_median = 0.06;
+  double train_variance_sigma = 0.40;
+};
+
+class AccelModel {
+ public:
+  explicit AccelModel(AccelModelConfig config = {}) : config_(config) {}
+
+  /// Variance of the acceleration magnitude observed over one window.
+  double sample_variance(VehicleClass vehicle, Rng& rng) const;
+
+  const AccelModelConfig& config() const { return config_; }
+
+ private:
+  AccelModelConfig config_;
+};
+
+/// The trip recorder's default decision threshold between train and bus
+/// variance populations (between the two medians on a log scale).
+constexpr double kDefaultAccelVarianceThreshold = 0.22;
+
+}  // namespace bussense

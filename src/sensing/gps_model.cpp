@@ -1,0 +1,25 @@
+#include "sensing/gps_model.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace bussense {
+
+double GpsModel::sample_error_m(GpsMode mode, Rng& rng) const {
+  switch (mode) {
+    case GpsMode::kStationary:
+      return rng.lognormal_median(config_.stationary_median_m,
+                                  config_.stationary_sigma);
+    case GpsMode::kMobileOnBus:
+      return rng.lognormal_median(config_.mobile_median_m, config_.mobile_sigma);
+  }
+  return 0.0;  // unreachable
+}
+
+Point GpsModel::sample_fix(Point true_position, GpsMode mode, Rng& rng) const {
+  const double r = sample_error_m(mode, rng);
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  return true_position + Point{r * std::cos(theta), r * std::sin(theta)};
+}
+
+}  // namespace bussense

@@ -1,0 +1,43 @@
+// Urban-canyon GPS error model (paper Section II, Figure 1).
+//
+// The paper measured GPS fixes in downtown Singapore: multipath from high
+// buildings yields median errors of ~40 m when stationary and ~68 m on a
+// moving bus (90th percentiles ~75 m and ~130 m; the OCR'd text drops
+// digits — EXPERIMENTS.md records the reconstruction). We model the radial
+// error as log-normal with those medians/percentiles and a uniform bearing.
+#pragma once
+
+#include "common/geo.h"
+#include "common/rng.h"
+
+namespace bussense {
+
+enum class GpsMode {
+  kStationary,
+  kMobileOnBus,  ///< additional attenuation inside the bus
+};
+
+struct GpsErrorConfig {
+  double stationary_median_m = 40.0;
+  double stationary_sigma = 0.49;  ///< log-normal shape; p90 ~ 75 m
+  double mobile_median_m = 68.0;
+  double mobile_sigma = 0.51;      ///< p90 ~ 130 m
+};
+
+class GpsModel {
+ public:
+  explicit GpsModel(GpsErrorConfig config = {}) : config_(config) {}
+
+  /// Radial error magnitude of one fix, metres.
+  double sample_error_m(GpsMode mode, Rng& rng) const;
+
+  /// A reported fix for a device truly at `true_position`.
+  Point sample_fix(Point true_position, GpsMode mode, Rng& rng) const;
+
+  const GpsErrorConfig& config() const { return config_; }
+
+ private:
+  GpsErrorConfig config_;
+};
+
+}  // namespace bussense

@@ -1,0 +1,111 @@
+#include "sensing/power_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.h"
+#include "dsp/goertzel.h"
+
+namespace bussense {
+
+std::string to_string(SensorConfig config) {
+  switch (config) {
+    case SensorConfig::kNoSensors: return "No sensors";
+    case SensorConfig::kCellular1Hz: return "Cellular 1Hz";
+    case SensorConfig::kGps: return "GPS";
+    case SensorConfig::kCellularMicGoertzel: return "Cellular+Mic(Goertzel)";
+    case SensorConfig::kCellularMicFft: return "Cellular+Mic(FFT)";
+    case SensorConfig::kGpsMicGoertzel: return "GPS+Mic(Goertzel)";
+  }
+  return "?";
+}
+
+PhoneProfile htc_sensation_profile() {
+  PhoneProfile p;
+  p.name = "HTC Sensation";
+  p.baseline_mw = 70.0;
+  p.cellular_sampling_mw = 2.0;
+  p.gps_receiver_mw = 270.0;
+  p.mic_adc_mw = 6.0;
+  p.concurrency_overhead_mw = 97.0;
+  p.nj_per_mac = 244.0;
+  p.measurement_rel_std = 0.08;
+  return p;
+}
+
+PhoneProfile nexus_one_profile() {
+  PhoneProfile p;
+  p.name = "Nexus One";
+  p.baseline_mw = 84.0;
+  p.cellular_sampling_mw = 1.0;
+  p.gps_receiver_mw = 249.0;
+  p.mic_adc_mw = 6.0;
+  p.concurrency_overhead_mw = 99.0;
+  p.nj_per_mac = 312.0;
+  p.measurement_rel_std = 0.10;
+  return p;
+}
+
+double PowerModel::dsp_mac_rate(bool use_fft) const {
+  const double frames_per_s =
+      workload_.sample_rate_hz / static_cast<double>(workload_.frame_samples);
+  if (use_fft) {
+    // The FFT front end transforms an overlapping window of the next power
+    // of two >= 3x the frame (the paper's earlier design used full-spectrum
+    // frames), paying the butterfly count every hop.
+    const std::size_t window = next_pow2(workload_.frame_samples * 3);
+    return frames_per_s * static_cast<double>(fft_op_count(window)) *
+           workload_.fft_macs_per_butterfly;
+  }
+  return workload_.sample_rate_hz * static_cast<double>(workload_.tone_count);
+}
+
+double PowerModel::dsp_power_mw(const PhoneProfile& phone, bool use_fft) const {
+  // mW = (MAC/s) * (nJ/MAC) * 1e-9 J/nJ * 1e3 mW/W
+  return dsp_mac_rate(use_fft) * phone.nj_per_mac * 1e-6;
+}
+
+double PowerModel::mean_power_mw(const PhoneProfile& phone,
+                                 SensorConfig config) const {
+  double mw = phone.baseline_mw;
+  switch (config) {
+    case SensorConfig::kNoSensors:
+      break;
+    case SensorConfig::kCellular1Hz:
+      mw += phone.cellular_sampling_mw;
+      break;
+    case SensorConfig::kGps:
+      mw += phone.gps_receiver_mw;
+      break;
+    case SensorConfig::kCellularMicGoertzel:
+      mw += phone.cellular_sampling_mw + phone.mic_adc_mw +
+            dsp_power_mw(phone, /*use_fft=*/false);
+      break;
+    case SensorConfig::kCellularMicFft:
+      mw += phone.cellular_sampling_mw + phone.mic_adc_mw +
+            dsp_power_mw(phone, /*use_fft=*/true);
+      break;
+    case SensorConfig::kGpsMicGoertzel:
+      mw += phone.gps_receiver_mw + phone.mic_adc_mw +
+            dsp_power_mw(phone, /*use_fft=*/false) +
+            phone.concurrency_overhead_mw;
+      break;
+  }
+  return mw;
+}
+
+double PowerModel::measure_session_mw(const PhoneProfile& phone,
+                                      SensorConfig config, double duration_s,
+                                      Rng& rng) const {
+  if (duration_s <= 0.0) {
+    throw std::invalid_argument("measure_session_mw: non-positive duration");
+  }
+  const double mean = mean_power_mw(phone, config);
+  // Longer captures average out the run-to-run variation.
+  const double ref_duration_s = 600.0;
+  const double sigma = mean * phone.measurement_rel_std *
+                       std::sqrt(ref_duration_s / duration_s);
+  return std::max(0.0, mean + rng.normal(0.0, sigma));
+}
+
+}  // namespace bussense

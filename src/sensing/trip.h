@@ -1,0 +1,46 @@
+// Trip data: what a participant's phone uploads to the backend server.
+//
+// A trip is a sequence of timestamped cellular samples, one per detected
+// IC-card beep (paper Section III-B). Simulation-side ground truth rides
+// along in AnnotatedTrip for evaluation only — the server never sees it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellular/fingerprint.h"
+#include "common/sim_time.h"
+
+namespace bussense {
+
+struct CellularSample {
+  SimTime time = 0.0;
+  Fingerprint fingerprint;
+};
+
+struct TripUpload {
+  std::int32_t participant_id = 0;
+  std::vector<CellularSample> samples;
+
+  bool empty() const { return samples.empty(); }
+};
+
+/// Evaluation-only annotations produced by the simulator.
+struct TripGroundTruth {
+  std::int32_t route_id = -1;       ///< directed route of the (first) bus leg
+  int board_stop_index = -1;        ///< index into the route's stop list
+  int alight_stop_index = -1;
+  /// All directed routes ridden, in order; more than one for transfer trips
+  /// (the paper's "concatenation of multiple bus routes").
+  std::vector<std::int32_t> leg_routes;
+  /// True stop id for each sample of the upload, aligned by index;
+  /// kInvalidStop (-1) marks a spurious (false-beep) sample.
+  std::vector<std::int32_t> sample_stops;
+};
+
+struct AnnotatedTrip {
+  TripUpload upload;
+  TripGroundTruth truth;
+};
+
+}  // namespace bussense

@@ -1,0 +1,64 @@
+#include "sensing/trip_recorder.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bussense {
+
+TripRecorder::TripRecorder(TripRecorderConfig config,
+                           std::int32_t participant_id, ScanFn scan,
+                           AccelVarianceFn accel_variance)
+    : config_(config),
+      participant_id_(participant_id),
+      scan_(std::move(scan)),
+      accel_variance_(std::move(accel_variance)) {
+  if (!scan_ || !accel_variance_) {
+    throw std::invalid_argument("TripRecorder: callbacks must be set");
+  }
+}
+
+std::optional<TripUpload> TripRecorder::on_beep(SimTime time) {
+  std::optional<TripUpload> completed;
+  if (recording_ && time - last_beep_time_ > config_.trip_timeout_s) {
+    completed = conclude();
+  }
+  if (!recording_) {
+    // First beep of a potential trip: reject rapid trains by accelerometer
+    // variance before committing to record.
+    if (accel_variance_(time) < config_.accel_variance_threshold) {
+      return completed;
+    }
+    recording_ = true;
+    samples_.clear();
+  }
+  samples_.push_back(CellularSample{time, scan_(time)});
+  last_beep_time_ = time;
+  return completed;
+}
+
+std::optional<TripUpload> TripRecorder::tick(SimTime now) {
+  if (recording_ && now - last_beep_time_ > config_.trip_timeout_s) {
+    return conclude();
+  }
+  return std::nullopt;
+}
+
+std::optional<TripUpload> TripRecorder::flush() {
+  if (recording_) return conclude();
+  return std::nullopt;
+}
+
+std::optional<TripUpload> TripRecorder::conclude() {
+  recording_ = false;
+  if (samples_.size() < config_.min_samples) {
+    samples_.clear();
+    return std::nullopt;
+  }
+  TripUpload trip;
+  trip.participant_id = participant_id_;
+  trip.samples = std::move(samples_);
+  samples_.clear();
+  return trip;
+}
+
+}  // namespace bussense

@@ -1,0 +1,69 @@
+// Phone-side trip recorder (paper Section III-B).
+//
+// State machine: idle until a beep is detected. On the first beep the phone
+// checks the accelerometer variance to reject rapid-train rides (trains use
+// the same card readers), then starts a trip. Every subsequent beep appends
+// a timestamped cellular sample. If no beep arrives for trip_timeout_s
+// (paper: 10 minutes) the trip is concluded and queued for upload.
+//
+// The recorder is sensor-agnostic: the environment supplies a fingerprint
+// scan and an accelerometer-variance reading through callbacks, so the same
+// recorder runs against the audio-level beep detector (dsp/beep_detector.h)
+// in tests and against the event-level beep channel in day-scale simulation.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cellular/fingerprint.h"
+#include "common/sim_time.h"
+#include "sensing/trip.h"
+
+namespace bussense {
+
+struct TripRecorderConfig {
+  double trip_timeout_s = 600.0;  ///< silence that concludes a trip (10 min)
+  /// Accel-magnitude variance below which the ride is classified as a rapid
+  /// train and the beep is ignored.
+  double accel_variance_threshold = 0.22;
+  /// Minimum samples for a trip to be worth uploading (a single-sample trip
+  /// carries no travel-time information).
+  std::size_t min_samples = 2;
+};
+
+class TripRecorder {
+ public:
+  using ScanFn = std::function<Fingerprint(SimTime)>;
+  using AccelVarianceFn = std::function<double(SimTime)>;
+
+  TripRecorder(TripRecorderConfig config, std::int32_t participant_id,
+               ScanFn scan, AccelVarianceFn accel_variance);
+
+  /// Feeds one detected beep. Returns a completed trip if this beep arrived
+  /// after the previous trip timed out (the new beep then opens a new trip).
+  std::optional<TripUpload> on_beep(SimTime time);
+
+  /// Advances time without a beep; returns the completed trip if the
+  /// timeout has elapsed.
+  std::optional<TripUpload> tick(SimTime now);
+
+  /// Force-concludes any open trip (end of simulation / app shutdown).
+  std::optional<TripUpload> flush();
+
+  bool recording() const { return recording_; }
+  std::size_t open_sample_count() const { return samples_.size(); }
+
+ private:
+  std::optional<TripUpload> conclude();
+
+  TripRecorderConfig config_;
+  std::int32_t participant_id_;
+  ScanFn scan_;
+  AccelVarianceFn accel_variance_;
+  bool recording_ = false;
+  SimTime last_beep_time_ = 0.0;
+  std::vector<CellularSample> samples_;
+};
+
+}  // namespace bussense

@@ -1,0 +1,159 @@
+#include "trafficsim/bus_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bussense {
+
+double BusRun::arc_at(SimTime t) const {
+  if (trajectory.empty()) {
+    throw std::logic_error("BusRun::arc_at: trajectory not recorded");
+  }
+  if (t <= trajectory.front().time) return trajectory.front().arc;
+  if (t >= trajectory.back().time) return trajectory.back().arc;
+  const auto it = std::lower_bound(
+      trajectory.begin(), trajectory.end(), t,
+      [](const TrajectoryPoint& p, SimTime value) { return p.time < value; });
+  const TrajectoryPoint& hi = *it;
+  const TrajectoryPoint& lo = *(it - 1);
+  const double span = hi.time - lo.time;
+  const double f = span > 0.0 ? (t - lo.time) / span : 0.0;
+  return lo.arc + f * (hi.arc - lo.arc);
+}
+
+BusSimulator::BusSimulator(const City& city, const TrafficField& traffic,
+                           const DemandModel& demand, BusSimConfig config)
+    : city_(&city), traffic_(&traffic), demand_(&demand), config_(config) {}
+
+BusRun BusSimulator::simulate_run(const BusRoute& route, SimTime depart,
+                                  const std::map<int, int>& extra_boarders,
+                                  const std::map<int, int>& extra_alighters,
+                                  double headway_s, Rng& rng,
+                                  bool record_trajectory) const {
+  BusRun run;
+  run.route = route.id();
+  run.depart_time = depart;
+  run.visits.reserve(route.stop_count());
+
+  SimTime t = depart;
+  double arc = 0.0;
+  double v = 0.0;  // m/s
+  int onboard_background = 0;
+  double last_traj_sample = -1e18;
+
+  auto record = [&](bool force = false) {
+    if (!record_trajectory) return;
+    if (force || t - last_traj_sample >= 1.0) {
+      run.trajectory.push_back(TrajectoryPoint{t, arc});
+      last_traj_sample = t;
+    }
+  };
+  record(true);
+
+  const double accel = config_.accel_ms2 * config_.dt_s;
+  const double decel = config_.decel_ms2 * config_.dt_s;
+
+  for (int k = 0; k < static_cast<int>(route.stop_count()); ++k) {
+    const RouteStop& rs = route.stops()[static_cast<std::size_t>(k)];
+    const bool final_stop = k + 1 == static_cast<int>(route.stop_count());
+
+    // Serve/skip decision state for this approach.
+    bool decided = false;
+    bool serve = false;
+    int boarders = 0;
+    int alighters = 0;
+
+    // Drive until the stop arc is reached.
+    while (arc < rs.arc_pos - 0.25) {
+      const double dist_left = rs.arc_pos - arc;
+      if (!decided && dist_left <= config_.stop_decision_distance_m) {
+        decided = true;
+        boarders = demand_->draw_boarders(rs.stop, t, headway_s, rng);
+        if (const auto it = extra_boarders.find(k); it != extra_boarders.end()) {
+          boarders += it->second;
+        }
+        int forced_alight = 0;
+        if (const auto it = extra_alighters.find(k); it != extra_alighters.end()) {
+          forced_alight = it->second;
+        }
+        if (final_stop) {
+          alighters = onboard_background + forced_alight;
+        } else {
+          for (int p = 0; p < onboard_background; ++p) {
+            if (rng.bernoulli(demand_->alight_probability())) ++alighters;
+          }
+          alighters += forced_alight;
+        }
+        serve = boarders > 0 || alighters > 0;
+      }
+
+      const SegmentId link = route.link_at(arc);
+      const double car_kmh = traffic_->car_speed_kmh(link, t);
+      const double factor =
+          std::max(config_.min_speed_factor,
+                   config_.base_speed_factor -
+                       config_.congestion_sensitivity *
+                           traffic_->congestion(link, t));
+      double target_kmh = std::clamp(car_kmh * factor, config_.min_speed_kmh,
+                                     config_.max_speed_kmh);
+      double target = kmh_to_ms(target_kmh);
+      if (decided && serve) {
+        // Brake so that v^2 <= 2 a d at every point of the approach.
+        const double brake_limit =
+            std::sqrt(std::max(0.0, 2.0 * config_.decel_ms2 * dist_left));
+        target = std::min(target, brake_limit);
+      }
+      v = std::clamp(target, v - decel, v + accel);
+      v = std::max(v, 0.3);  // never fully stalls between stops
+      arc += v * config_.dt_s;
+      t += config_.dt_s;
+      record();
+    }
+    // The integration step may overshoot a skipped stop slightly; never move
+    // the bus backwards.
+    arc = std::max(arc, rs.arc_pos);
+
+    StopVisit visit;
+    visit.stop_index = k;
+    visit.stop = rs.stop;
+    visit.arrival = t;
+    visit.boarders = boarders;
+    visit.alighters = alighters;
+    visit.served = serve;
+    if (serve) {
+      v = 0.0;
+      record(true);
+      // Alighting passengers tap out first, then boarders tap in.
+      SimTime tap = t + config_.tap_start_offset_s;
+      for (int a = 0; a < visit.alighters; ++a) {
+        visit.taps.push_back(TapEvent{tap + rng.uniform(-0.2, 0.2), false});
+        tap += config_.tap_interval_s;
+      }
+      for (int b = 0; b < visit.boarders; ++b) {
+        visit.taps.push_back(TapEvent{tap + rng.uniform(-0.2, 0.2), true});
+        tap += config_.tap_interval_s;
+      }
+      const double dwell =
+          std::max(config_.base_dwell_s,
+                   config_.tap_start_offset_s +
+                       config_.per_boarder_s * visit.boarders +
+                       config_.per_alighter_s * visit.alighters);
+      t += dwell;
+      visit.departure = t;
+      onboard_background += visit.boarders;
+      onboard_background -= visit.alighters;
+      onboard_background = std::max(onboard_background, 0);
+      record(true);
+    } else {
+      visit.departure = t;
+    }
+    run.visits.push_back(std::move(visit));
+  }
+
+  run.end_time = t;
+  record(true);
+  return run;
+}
+
+}  // namespace bussense

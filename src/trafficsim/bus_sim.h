@@ -1,0 +1,101 @@
+// Kinematic bus simulation along a route.
+//
+// A bus cruises at a fraction of the ambient car speed (buses keep stricter
+// limits and stop more — the physical source of the paper's BTT/ATT gap),
+// capped at its own maximum, with bounded acceleration and braking. At each
+// stop it draws waiting boarders from the demand model and alighters from
+// the onboard load; if nobody boards or alights the stop is skipped (the
+// paper's merged-segment case). Served stops produce IC-card tap events —
+// the beeps that riders' phones hear.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "citynet/city.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "trafficsim/demand.h"
+#include "trafficsim/traffic_field.h"
+
+namespace bussense {
+
+struct BusSimConfig {
+  double max_speed_kmh = 55.0;      ///< bus speed cap (stricter limits)
+  /// Bus speed as a fraction of ambient car speed at free flow. Congestion
+  /// hits buses harder than cars (no lane changes, blocked stops), so the
+  /// factor degrades with the congestion level — this is what makes the
+  /// regressed Eq. 3 coefficient b land in the paper's [0.3, 0.8] band.
+  double base_speed_factor = 0.88;
+  double congestion_sensitivity = 0.50;  ///< factor loss per unit congestion
+  double min_speed_factor = 0.40;
+  double min_speed_kmh = 5.0;       ///< crawl speed in the worst jam
+  double accel_ms2 = 1.1;
+  double decel_ms2 = 1.4;
+  double base_dwell_s = 8.0;
+  double per_boarder_s = 2.2;
+  double per_alighter_s = 1.6;
+  double tap_start_offset_s = 1.0;  ///< first tap after doors open
+  double tap_interval_s = 1.1;      ///< spacing between consecutive taps
+  double stop_decision_distance_m = 90.0;  ///< where serve/skip is decided
+  double dt_s = 0.5;
+};
+
+struct TapEvent {
+  SimTime time = 0.0;
+  bool boarding = true;  ///< false = alighting tap-out
+};
+
+struct StopVisit {
+  int stop_index = -1;
+  StopId stop = kInvalidStop;
+  SimTime arrival = 0.0;    ///< doors-open time (or pass-by time if skipped)
+  SimTime departure = 0.0;  ///< doors-closed time (== arrival if skipped)
+  int boarders = 0;
+  int alighters = 0;
+  bool served = false;
+  std::vector<TapEvent> taps;
+};
+
+struct TrajectoryPoint {
+  SimTime time = 0.0;
+  double arc = 0.0;
+};
+
+struct BusRun {
+  RouteId route = kInvalidRoute;
+  SimTime depart_time = 0.0;
+  SimTime end_time = 0.0;
+  std::vector<StopVisit> visits;           ///< one per route stop, in order
+  std::vector<TrajectoryPoint> trajectory; ///< ~1 s sampling, if recorded
+
+  /// Arc position at time `t` by linear interpolation of the trajectory.
+  /// Precondition: trajectory recorded and t within [depart_time, end_time].
+  double arc_at(SimTime t) const;
+};
+
+class BusSimulator {
+ public:
+  BusSimulator(const City& city, const TrafficField& traffic,
+               const DemandModel& demand, BusSimConfig config = {});
+
+  /// Simulates one end-to-end run departing at `depart`.
+  /// `extra_boarders` / `extra_alighters` map stop indices to participant
+  /// riders that must board/alight there (their stops are always served).
+  /// `headway_s` is the accumulation window for waiting passengers.
+  BusRun simulate_run(const BusRoute& route, SimTime depart,
+                      const std::map<int, int>& extra_boarders,
+                      const std::map<int, int>& extra_alighters,
+                      double headway_s, Rng& rng,
+                      bool record_trajectory = false) const;
+
+  const BusSimConfig& config() const { return config_; }
+
+ private:
+  const City* city_;
+  const TrafficField* traffic_;
+  const DemandModel* demand_;
+  BusSimConfig config_;
+};
+
+}  // namespace bussense

@@ -1,0 +1,43 @@
+#include "trafficsim/demand.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bussense {
+
+DemandModel::DemandModel(DemandConfig config, std::size_t stop_count,
+                         std::uint64_t seed)
+    : config_(config) {
+  Rng rng(seed);
+  popularity_.reserve(stop_count);
+  for (std::size_t i = 0; i < stop_count; ++i) {
+    popularity_.push_back(rng.lognormal_median(1.0, config_.popularity_sigma));
+  }
+}
+
+double DemandModel::time_factor(SimTime t) const {
+  const double h = time_of_day(t) / kHour;
+  if (h < 5.5 || h > 23.0) return config_.night_multiplier * 0.5;
+  auto bump = [&](double centre) {
+    const double z = (h - centre) / config_.peak_width_h;
+    return std::exp(-0.5 * z * z);
+  };
+  const double peak = bump(config_.morning_peak_h) + bump(config_.evening_peak_h);
+  double f = 1.0 + (config_.peak_multiplier - 1.0) * std::min(peak, 1.0);
+  if (h < 6.5) f *= config_.night_multiplier;       // early morning ramp
+  if (h > 21.5) f *= config_.night_multiplier * 2.0;
+  return f;
+}
+
+double DemandModel::boarding_rate_per_s(StopId stop, SimTime t) const {
+  const double pop = popularity_.at(static_cast<std::size_t>(stop));
+  return config_.base_boarding_per_min / 60.0 * pop * time_factor(t);
+}
+
+int DemandModel::draw_boarders(StopId stop, SimTime t, double window_s,
+                               Rng& rng) const {
+  const double mean = boarding_rate_per_s(stop, t) * std::max(window_s, 0.0);
+  return rng.poisson(mean);
+}
+
+}  // namespace bussense

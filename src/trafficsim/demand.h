@@ -1,0 +1,52 @@
+// Passenger demand model.
+//
+// Governs how many passengers board at each stop (Poisson arrivals whose
+// rate follows a daily activity curve with commute peaks, scaled by a
+// per-stop popularity factor) and how riders alight. Every boarding or
+// alighting passenger taps an IC card, which is what the phones hear.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "citynet/types.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace bussense {
+
+struct DemandConfig {
+  double base_boarding_per_min = 0.22;  ///< per stop, off-peak daytime
+  double peak_multiplier = 2.8;
+  double night_multiplier = 0.35;
+  double morning_peak_h = 8.3;
+  double evening_peak_h = 18.2;
+  double peak_width_h = 1.3;
+  double alight_probability = 0.14;     ///< per onboard passenger per stop
+  double popularity_sigma = 0.45;       ///< log-normal spread across stops
+};
+
+class DemandModel {
+ public:
+  DemandModel(DemandConfig config, std::size_t stop_count, std::uint64_t seed);
+
+  /// Daily activity multiplier (also used to draw participant trip times).
+  double time_factor(SimTime t) const;
+
+  /// Mean boarding rate at a stop, passengers per second.
+  double boarding_rate_per_s(StopId stop, SimTime t) const;
+
+  /// Passengers waiting at a stop after `window_s` seconds of accumulation
+  /// (the headway since the previous bus).
+  int draw_boarders(StopId stop, SimTime t, double window_s, Rng& rng) const;
+
+  double alight_probability() const { return config_.alight_probability; }
+
+  const DemandConfig& config() const { return config_; }
+
+ private:
+  DemandConfig config_;
+  std::vector<double> popularity_;  ///< per-stop multiplier
+};
+
+}  // namespace bussense

@@ -1,0 +1,74 @@
+#include "trafficsim/taxi_feed.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bussense {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double hashed_normal(std::uint64_t h) {
+  const std::uint64_t h1 = splitmix64(h);
+  const std::uint64_t h2 = splitmix64(h1 ^ 0x6a09e667f3bcc909ULL);
+  const double u1 = (static_cast<double>(h1 >> 11) + 0.5) / 9007199254740992.0;
+  const double u2 = static_cast<double>(h2 >> 11) / 9007199254740992.0;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double hashed_uniform(std::uint64_t h) {
+  return static_cast<double>(splitmix64(h) >> 11) / 9007199254740992.0;
+}
+
+}  // namespace
+
+TaxiFeed::TaxiFeed(const TrafficField& traffic, TaxiFeedConfig config,
+                   std::uint64_t seed)
+    : traffic_(&traffic), config_(config), seed_(seed) {}
+
+double TaxiFeed::window_noise_kmh(SegmentId link, std::int64_t window) const {
+  std::uint64_t h = seed_;
+  h = splitmix64(h ^ static_cast<std::uint64_t>(link));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(window) * 0x9e3779b97f4a7c15ULL);
+  // Probe count varies per window; more probes, tighter estimate.
+  const int probes =
+      1 + static_cast<int>(hashed_uniform(h ^ 0x1234) * 2.0 *
+                           config_.mean_probes_per_window);
+  const double sigma =
+      config_.per_probe_noise_kmh / std::sqrt(static_cast<double>(probes));
+  return hashed_normal(h) * sigma;
+}
+
+double TaxiFeed::official_speed_kmh(SegmentId link, SimTime t) const {
+  const auto window = static_cast<std::int64_t>(std::floor(t / config_.window_s));
+  const SimTime mid = (static_cast<double>(window) + 0.5) * config_.window_s;
+  const double car = traffic_->car_speed_kmh(link, mid);
+  // Taxis drive above the ambient flow once the road opens up.
+  const double z =
+      (car - config_.aggressiveness_knee_kmh) / config_.aggressiveness_scale_kmh;
+  const double sigmoid = 1.0 / (1.0 + std::exp(-z));
+  const double aggressive = car * (1.0 + config_.aggressiveness_max * sigmoid);
+  return std::max(0.0, aggressive + window_noise_kmh(link, window));
+}
+
+double TaxiFeed::official_speed_over(const BusRoute& route, double arc_a,
+                                     double arc_b, SimTime t) const {
+  const auto parts = route.link_lengths_between(arc_a, arc_b);
+  double total_len = 0.0;
+  double total_time_h = 0.0;
+  for (const auto& [link, len_m] : parts) {
+    const double v = official_speed_kmh(link, t);
+    total_len += len_m;
+    total_time_h += (len_m / 1000.0) / std::max(v, 1.0);
+  }
+  if (total_time_h <= 0.0) return 0.0;
+  return (total_len / 1000.0) / total_time_h;
+}
+
+}  // namespace bussense

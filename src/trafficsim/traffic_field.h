@@ -1,0 +1,63 @@
+// Ground-truth automobile traffic field.
+//
+// Defines the "real" car speed on every road link at every instant — the
+// quantity the paper's system estimates and the LTA taxi feed samples. Each
+// link gets a congestion profile: morning and evening Gaussian peak bumps
+// whose depth depends on the road class (commuter-corridor links congest
+// hard every morning, reproducing the paper's Figure 9 story), plus a few
+// slow sinusoidal noise components with link-specific phases so no two
+// links or days look identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "citynet/bus_route.h"
+#include "citynet/road_network.h"
+#include "common/sim_time.h"
+
+namespace bussense {
+
+struct TrafficFieldConfig {
+  double morning_peak_h = 8.4;
+  double evening_peak_h = 18.1;
+  double morning_width_h = 1.0;
+  double evening_width_h = 1.4;
+  double max_congestion = 0.80;  ///< speed never drops below 20% of free
+};
+
+class TrafficField {
+ public:
+  TrafficField(const RoadNetwork& network, TrafficFieldConfig config,
+               std::uint64_t seed);
+
+  /// Congestion level of a link at time `t`, in [0, max_congestion];
+  /// 0 = free flow.
+  double congestion(SegmentId link, SimTime t) const;
+
+  /// Ground-truth automobile speed on a link, km/h.
+  double car_speed_kmh(SegmentId link, SimTime t) const;
+
+  /// Harmonic-mean (travel-time-weighted) car speed over the route span
+  /// [arc_a, arc_b] at time `t` — the ground truth for one inter-stop
+  /// segment. Precondition: arc_a < arc_b.
+  double mean_car_speed_kmh(const BusRoute& route, double arc_a, double arc_b,
+                            SimTime t) const;
+
+  const RoadNetwork& network() const { return *network_; }
+
+ private:
+  struct LinkProfile {
+    double morning_amp = 0.0;
+    double evening_amp = 0.0;
+    double noise_amp[3] = {0, 0, 0};
+    double noise_period_s[3] = {1, 1, 1};
+    double noise_phase[3] = {0, 0, 0};
+  };
+
+  const RoadNetwork* network_;
+  TrafficFieldConfig config_;
+  std::vector<LinkProfile> profiles_;
+};
+
+}  // namespace bussense

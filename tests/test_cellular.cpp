@@ -1,0 +1,227 @@
+// Unit tests for the cellular substrate: propagation, scanning, fingerprints,
+// tower deployment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cellular/deployment.h"
+#include "cellular/fingerprint.h"
+#include "cellular/radio_environment.h"
+#include "cellular/scanner.h"
+#include "common/stats.h"
+
+namespace bussense {
+namespace {
+
+RadioEnvironment small_env(std::uint64_t seed = 1) {
+  std::vector<CellTower> towers{
+      {2001, {0.0, 0.0}, 38.5},
+      {2002, {600.0, 0.0}, 38.5},
+      {2003, {0.0, 600.0}, 38.5},
+      {2004, {600.0, 600.0}, 38.5},
+  };
+  return RadioEnvironment(std::move(towers), PropagationConfig{}, seed);
+}
+
+// ------------------------------------------------------------- propagation
+
+TEST(RadioEnvironment, MeanRssDecreasesWithDistanceOnAverage) {
+  const auto env = small_env();
+  const CellTower& tower = env.towers()[0];
+  // Shadowing can invert individual pairs; compare averages over bearings.
+  double near = 0.0, far = 0.0;
+  for (int k = 0; k < 16; ++k) {
+    const double a = k * 0.3927;
+    near += env.mean_rss_dbm(tower,
+                             {100.0 * std::cos(a), 100.0 * std::sin(a)});
+    far += env.mean_rss_dbm(tower, {800.0 * std::cos(a), 800.0 * std::sin(a)});
+  }
+  EXPECT_GT(near / 16.0, far / 16.0 + 10.0);
+}
+
+TEST(RadioEnvironment, MeanRssDeterministic) {
+  const auto env1 = small_env(7);
+  const auto env2 = small_env(7);
+  const Point p{123.4, 567.8};
+  EXPECT_DOUBLE_EQ(env1.mean_rss_dbm(env1.towers()[1], p),
+                   env2.mean_rss_dbm(env2.towers()[1], p));
+}
+
+TEST(RadioEnvironment, DifferentTerrainSeedsDiffer) {
+  const auto env1 = small_env(1);
+  const auto env2 = small_env(2);
+  const Point p{123.4, 567.8};
+  EXPECT_NE(env1.mean_rss_dbm(env1.towers()[1], p),
+            env2.mean_rss_dbm(env2.towers()[1], p));
+}
+
+TEST(RadioEnvironment, ShadowFieldIsSpatiallyContinuous) {
+  const auto env = small_env();
+  const CellTower& tower = env.towers()[0];
+  // 1 m apart, same distance ring: RSS must differ by far less than sigma.
+  const double a = env.mean_rss_dbm(tower, {300.0, 100.0});
+  const double b = env.mean_rss_dbm(tower, {300.0, 101.0});
+  EXPECT_LT(std::abs(a - b), 1.5);
+}
+
+TEST(RadioEnvironment, TemporalVariationHasConfiguredSpread) {
+  const auto env = small_env();
+  const CellTower& tower = env.towers()[0];
+  const Point p{250.0, 250.0};
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 4000; ++i) s.add(env.sample_rss_dbm(tower, p, rng));
+  EXPECT_NEAR(s.mean(), env.mean_rss_dbm(tower, p), 0.1);
+  EXPECT_NEAR(s.stddev(), env.config().temporal_sigma_db, 0.1);
+}
+
+TEST(RadioEnvironment, ExtraNoiseWidensSpread) {
+  const auto env = small_env();
+  const CellTower& tower = env.towers()[0];
+  const Point p{250.0, 250.0};
+  Rng rng(6);
+  RunningStats s;
+  for (int i = 0; i < 4000; ++i) s.add(env.sample_rss_dbm(tower, p, rng, 3.0));
+  EXPECT_NEAR(s.stddev(),
+              std::hypot(env.config().temporal_sigma_db, 3.0), 0.15);
+}
+
+// ------------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, MakeSortsByDescendingRss) {
+  const Fingerprint fp = make_fingerprint(
+      {{10, -80.0}, {11, -60.0}, {12, -95.0}, {13, -70.0}});
+  EXPECT_EQ(fp.cells, (std::vector<CellId>{11, 13, 10, 12}));
+}
+
+TEST(Fingerprint, MakeDeduplicatesKeepingStrongest) {
+  const Fingerprint fp =
+      make_fingerprint({{10, -80.0}, {11, -60.0}, {10, -50.0}});
+  EXPECT_EQ(fp.cells, (std::vector<CellId>{10, 11}));
+}
+
+TEST(Fingerprint, CommonCellCount) {
+  const Fingerprint a{{1, 2, 3, 4}};
+  const Fingerprint b{{3, 4, 5}};
+  EXPECT_EQ(common_cell_count(a, b), 2);
+  EXPECT_EQ(common_cell_count(a, Fingerprint{}), 0);
+  EXPECT_EQ(common_cell_count(a, a), 4);
+}
+
+TEST(Fingerprint, ToStringFormat) {
+  EXPECT_EQ(to_string(Fingerprint{{2134, 3486, 1122}}), "2134,3486,1122");
+  EXPECT_EQ(to_string(Fingerprint{}), "");
+}
+
+TEST(Fingerprint, EmptyAndSize) {
+  Fingerprint fp;
+  EXPECT_TRUE(fp.empty());
+  fp.cells = {1, 2};
+  EXPECT_EQ(fp.size(), 2u);
+}
+
+// ----------------------------------------------------------------- scanner
+
+TEST(CellScanner, ResultSortedAndCapped) {
+  const auto env = small_env();
+  ScannerConfig cfg;
+  cfg.max_towers = 3;
+  const CellScanner scanner(cfg);
+  Rng rng(7);
+  const auto obs = scanner.scan(env, {300.0, 300.0}, rng);
+  ASSERT_LE(obs.size(), 3u);
+  for (std::size_t i = 1; i < obs.size(); ++i) {
+    EXPECT_GE(obs[i - 1].rss_dbm, obs[i].rss_dbm);
+  }
+}
+
+TEST(CellScanner, SensitivityFiltersWeakTowers) {
+  const auto env = small_env();
+  ScannerConfig strict;
+  strict.sensitivity_dbm = -20.0;  // nothing is that strong at 300 m
+  const CellScanner scanner(strict);
+  Rng rng(8);
+  EXPECT_TRUE(scanner.scan(env, {300.0, 300.0}, rng).empty());
+}
+
+TEST(CellScanner, FingerprintMatchesScanOrder) {
+  const auto env = small_env();
+  const CellScanner scanner;
+  Rng rng1(9), rng2(9);
+  const auto obs = scanner.scan(env, {200.0, 100.0}, rng1);
+  const auto fp = scanner.scan_fingerprint(env, {200.0, 100.0}, rng2);
+  ASSERT_EQ(fp.size(), obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    EXPECT_EQ(fp.cells[i], obs[i].id);
+  }
+}
+
+TEST(CellScanner, NearbyLocationsShareTowersDistantOnesDont) {
+  // Two towers 5 km apart: a phone near one never reports the other.
+  std::vector<CellTower> towers{{3001, {0.0, 0.0}, 38.5},
+                                {3002, {5000.0, 0.0}, 38.5}};
+  const RadioEnvironment env(std::move(towers), PropagationConfig{}, 3);
+  const CellScanner scanner;
+  Rng rng(10);
+  const auto fp = scanner.scan_fingerprint(env, {50.0, 0.0}, rng);
+  ASSERT_EQ(fp.size(), 1u);
+  EXPECT_EQ(fp.cells[0], 3001);
+}
+
+// -------------------------------------------------------------- deployment
+
+TEST(Deployment, CoversRegionWithMargin) {
+  Rng rng(11);
+  const BoundingBox region{{0.0, 0.0}, {2000.0, 1000.0}};
+  DeploymentConfig cfg;
+  cfg.spacing_m = 500.0;
+  cfg.margin_m = 500.0;
+  const auto towers = deploy_towers(region, cfg, rng);
+  EXPECT_GT(towers.size(), 20u);
+  for (const CellTower& t : towers) {
+    EXPECT_GE(t.position.x, -cfg.margin_m - cfg.spacing_m);
+    EXPECT_LE(t.position.x, 2000.0 + cfg.margin_m + cfg.spacing_m);
+  }
+}
+
+TEST(Deployment, IdsUniqueAndSequentialFromBase) {
+  Rng rng(12);
+  const BoundingBox region{{0.0, 0.0}, {1000.0, 1000.0}};
+  DeploymentConfig cfg;
+  cfg.first_cell_id = 5000;
+  const auto towers = deploy_towers(region, cfg, rng);
+  std::set<CellId> ids;
+  for (const CellTower& t : towers) ids.insert(t.id);
+  EXPECT_EQ(ids.size(), towers.size());
+  EXPECT_EQ(*ids.begin(), 5000);
+  EXPECT_EQ(*ids.rbegin(), 5000 + static_cast<CellId>(towers.size()) - 1);
+}
+
+TEST(Deployment, RejectsNonPositiveSpacing) {
+  Rng rng(13);
+  DeploymentConfig cfg;
+  cfg.spacing_m = 0.0;
+  EXPECT_THROW(deploy_towers({{0, 0}, {100, 100}}, cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(Deployment, VisibleTowerCountInPaperBand) {
+  // Full-region deployment: a phone should see roughly 4-7 towers.
+  Rng rng(14);
+  const BoundingBox region{{0.0, 0.0}, {7000.0, 4000.0}};
+  const auto towers = deploy_towers(region, DeploymentConfig{}, rng);
+  const RadioEnvironment env(towers, PropagationConfig{}, 99);
+  const CellScanner scanner;
+  Rng scan_rng(15);
+  for (int i = 0; i < 30; ++i) {
+    const Point p{scan_rng.uniform(1000.0, 6000.0),
+                  scan_rng.uniform(1000.0, 3000.0)};
+    const auto fp = scanner.scan_fingerprint(env, p, scan_rng);
+    EXPECT_GE(fp.size(), 4u);
+    EXPECT_LE(fp.size(), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace bussense

@@ -1,0 +1,268 @@
+// Unit tests for the city model: road network, routes, stops, generator
+// invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "citynet/city_generator.h"
+
+namespace bussense {
+namespace {
+
+const City& test_city() {
+  static const City city = generate_city();
+  return city;
+}
+
+// ------------------------------------------------------------ road network
+
+TEST(RoadNetwork, RejectsNonDenseIds) {
+  std::vector<RoadLink> links;
+  links.push_back(RoadLink{5, Polyline({{0, 0}, {1, 0}}), RoadClass::kLocal,
+                           45.0, false});
+  EXPECT_THROW(RoadNetwork(std::move(links)), std::invalid_argument);
+}
+
+TEST(RoadNetwork, TotalLengthSumsLinks) {
+  std::vector<RoadLink> links;
+  links.push_back(RoadLink{0, Polyline({{0, 0}, {100, 0}}), RoadClass::kLocal,
+                           45.0, false});
+  links.push_back(RoadLink{1, Polyline({{0, 0}, {0, 50}}), RoadClass::kLocal,
+                           45.0, false});
+  const RoadNetwork net(std::move(links));
+  EXPECT_DOUBLE_EQ(net.total_length(), 150.0);
+  EXPECT_EQ(net.size(), 2u);
+}
+
+// --------------------------------------------------------------- bus route
+
+BusRoute simple_route() {
+  Polyline path({{0.0, 0.0}, {1000.0, 0.0}});
+  std::vector<RouteStop> stops{{0, 100.0}, {1, 500.0}, {2, 900.0}};
+  std::vector<LinkSpan> spans{{0, 0.0, 600.0}, {1, 600.0, 1000.0}};
+  return BusRoute(0, "T", 0, std::move(path), std::move(stops), std::move(spans));
+}
+
+TEST(BusRoute, ValidatesStopOrdering) {
+  Polyline path({{0.0, 0.0}, {1000.0, 0.0}});
+  std::vector<LinkSpan> spans{{0, 0.0, 1000.0}};
+  EXPECT_THROW(BusRoute(0, "T", 0, path, {{0, 500.0}, {1, 100.0}}, spans),
+               std::invalid_argument);
+  EXPECT_THROW(BusRoute(0, "T", 0, path, {{0, 100.0}}, spans),
+               std::invalid_argument);
+  EXPECT_THROW(BusRoute(0, "T", 0, path, {{0, -5.0}, {1, 100.0}}, spans),
+               std::invalid_argument);
+}
+
+TEST(BusRoute, ValidatesSpanTiling) {
+  Polyline path({{0.0, 0.0}, {1000.0, 0.0}});
+  std::vector<RouteStop> stops{{0, 100.0}, {1, 900.0}};
+  EXPECT_THROW(BusRoute(0, "T", 0, path, stops, {{0, 0.0, 500.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      BusRoute(0, "T", 0, path, stops, {{0, 0.0, 500.0}, {1, 600.0, 1000.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(BusRoute(0, "T", 0, path, stops, {}), std::invalid_argument);
+}
+
+TEST(BusRoute, StopLookups) {
+  const BusRoute r = simple_route();
+  EXPECT_EQ(r.stop_index(1).value(), 1);
+  EXPECT_FALSE(r.stop_index(99).has_value());
+  EXPECT_DOUBLE_EQ(r.stop_arc(2), 900.0);
+  EXPECT_DOUBLE_EQ(r.distance_between_stops(0, 2), 800.0);
+  EXPECT_THROW(r.distance_between_stops(2, 0), std::invalid_argument);
+}
+
+TEST(BusRoute, LinkAt) {
+  const BusRoute r = simple_route();
+  EXPECT_EQ(r.link_at(0.0), 0);
+  EXPECT_EQ(r.link_at(599.0), 0);
+  EXPECT_EQ(r.link_at(601.0), 1);
+  EXPECT_EQ(r.link_at(2000.0), 1);  // clamped
+}
+
+TEST(BusRoute, LinkLengthsBetweenSplitsAtBoundary) {
+  const BusRoute r = simple_route();
+  const auto parts = r.link_lengths_between(500.0, 700.0);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].first, 0);
+  EXPECT_DOUBLE_EQ(parts[0].second, 100.0);
+  EXPECT_EQ(parts[1].first, 1);
+  EXPECT_DOUBLE_EQ(parts[1].second, 100.0);
+}
+
+TEST(BusRoute, LinkLengthsBetweenWholeRoute) {
+  const BusRoute r = simple_route();
+  const auto parts = r.link_lengths_between(0.0, 1000.0);
+  double total = 0.0;
+  for (const auto& [link, len] : parts) total += len;
+  EXPECT_DOUBLE_EQ(total, 1000.0);
+}
+
+TEST(BusRoute, LinkLengthsRejectsReversedArcs) {
+  const BusRoute r = simple_route();
+  EXPECT_THROW(r.link_lengths_between(700.0, 500.0), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- generator
+
+TEST(CityGenerator, ProducesExpectedScale) {
+  const City& city = test_city();
+  EXPECT_EQ(city.routes().size(), 16u);  // 8 names x 2 directions
+  EXPECT_GT(city.stops().size(), 100u);  // paper: >100 stops in the region
+  EXPECT_GT(city.network().size(), 200u);
+}
+
+TEST(CityGenerator, CoverageAboveHalf) {
+  // Paper Figure 9: the 8 routes cover >50% of the roads in the region.
+  EXPECT_GT(test_city().coverage_ratio(), 0.5);
+}
+
+TEST(CityGenerator, EveryRouteHasBothDirections) {
+  const City& city = test_city();
+  for (const std::string name :
+       {"79", "99", "241", "243", "252", "257", "182", "31"}) {
+    const BusRoute* fwd = city.route_by_name(name, 0);
+    const BusRoute* rev = city.route_by_name(name, 1);
+    ASSERT_NE(fwd, nullptr) << name;
+    ASSERT_NE(rev, nullptr) << name;
+    EXPECT_NEAR(fwd->length(), rev->length(), 1e-6);
+    EXPECT_EQ(fwd->stop_count(), rev->stop_count());
+  }
+  EXPECT_EQ(city.route_by_name("79", 2), nullptr);
+  EXPECT_EQ(city.route_by_name("nope", 0), nullptr);
+}
+
+TEST(CityGenerator, StopSpacingInPaperBand) {
+  const City& city = test_city();
+  for (const BusRoute& route : city.routes()) {
+    for (std::size_t i = 1; i < route.stops().size(); ++i) {
+      const double gap = route.stops()[i].arc_pos - route.stops()[i - 1].arc_pos;
+      EXPECT_GT(gap, 250.0);
+      EXPECT_LT(gap, 1000.0);
+    }
+  }
+}
+
+TEST(CityGenerator, TwinsAreSymmetricAndClose) {
+  const City& city = test_city();
+  int twins = 0;
+  for (const BusStop& s : city.stops()) {
+    if (!s.opposite) continue;
+    ++twins;
+    const BusStop& other = city.stop(*s.opposite);
+    ASSERT_TRUE(other.opposite.has_value());
+    EXPECT_EQ(*other.opposite, s.id);
+    EXPECT_LT(distance(s.position, other.position), 30.0);
+    // Twins serve opposite headings.
+    EXPECT_LT(dot(s.heading, other.heading), 0.0);
+  }
+  EXPECT_GT(twins, 100);
+}
+
+TEST(CityGenerator, EffectiveStopIsCanonicalAndIdempotent) {
+  const City& city = test_city();
+  for (const BusStop& s : city.stops()) {
+    const StopId eff = city.effective_stop(s.id);
+    EXPECT_EQ(city.effective_stop(eff), eff);
+    if (s.opposite) {
+      EXPECT_EQ(city.effective_stop(*s.opposite), eff);
+      EXPECT_EQ(eff, std::min(s.id, *s.opposite));
+    }
+  }
+}
+
+TEST(CityGenerator, RouteStopsLieOnPath) {
+  const City& city = test_city();
+  for (const BusRoute& route : city.routes()) {
+    for (const RouteStop& rs : route.stops()) {
+      const Point on_path = route.path().point_at(rs.arc_pos);
+      const Point stop_pos = city.stop(rs.stop).position;
+      // Stop is kerb-side: a few metres off the centreline, but possibly
+      // merged with a shared stop up to the merge radius away.
+      EXPECT_LT(distance(on_path, stop_pos),
+                CityConfig{}.stop_merge_radius_m + 20.0);
+    }
+  }
+}
+
+TEST(CityGenerator, LinkSpansReferenceValidLinks) {
+  const City& city = test_city();
+  for (const BusRoute& route : city.routes()) {
+    for (const LinkSpan& span : route.link_spans()) {
+      ASSERT_GE(span.link, 0);
+      ASSERT_LT(static_cast<std::size_t>(span.link), city.network().size());
+      const double span_len = span.arc_end - span.arc_begin;
+      EXPECT_NEAR(span_len, city.network().link(span.link).length(), 1e-6);
+    }
+  }
+}
+
+TEST(CityGenerator, CommuterCorridorExists) {
+  const City& city = test_city();
+  int commuter_links = 0;
+  for (const RoadLink& link : city.network().links()) {
+    if (link.commuter_corridor) ++commuter_links;
+  }
+  EXPECT_GT(commuter_links, 4);
+}
+
+TEST(CityGenerator, MultiRouteCoverage) {
+  // Paper Section III-A: a large share of covered roads carries >= 2 routes.
+  const City& city = test_city();
+  const auto one = city.links_covered_by_at_least(1);
+  const auto two = city.links_covered_by_at_least(2);
+  EXPECT_GT(one.size(), 0u);
+  EXPECT_GT(two.size(), 5u);
+  EXPECT_LE(two.size(), one.size());
+}
+
+TEST(CityGenerator, DeterministicGivenSeed) {
+  CityConfig cfg;
+  const City a = generate_city(cfg);
+  const City b = generate_city(cfg);
+  ASSERT_EQ(a.stops().size(), b.stops().size());
+  for (std::size_t i = 0; i < a.stops().size(); ++i) {
+    EXPECT_EQ(a.stops()[i].position, b.stops()[i].position);
+  }
+}
+
+TEST(CityGenerator, HonoursRouteSubset) {
+  CityConfig cfg;
+  cfg.route_names = {"79", "243"};
+  const City city = generate_city(cfg);
+  EXPECT_EQ(city.routes().size(), 4u);
+  EXPECT_NE(city.route_by_name("79", 0), nullptr);
+  EXPECT_EQ(city.route_by_name("99", 0), nullptr);
+}
+
+TEST(CityGenerator, RejectsUnknownRouteName) {
+  CityConfig cfg;
+  cfg.route_names = {"not-a-route"};
+  EXPECT_THROW(generate_city(cfg), std::invalid_argument);
+}
+
+TEST(CityGenerator, RejectsTinyRegion) {
+  CityConfig cfg;
+  cfg.width_m = 400.0;
+  cfg.height_m = 400.0;
+  EXPECT_THROW(generate_city(cfg), std::invalid_argument);
+}
+
+TEST(City, ReverseRouteServesTwinStops) {
+  const City& city = test_city();
+  const BusRoute* fwd = city.route_by_name("243", 0);
+  const BusRoute* rev = city.route_by_name("243", 1);
+  ASSERT_NE(fwd, nullptr);
+  ASSERT_NE(rev, nullptr);
+  // Effective stop sequences must be exact mirrors.
+  std::vector<StopId> f, r;
+  for (const RouteStop& rs : fwd->stops()) f.push_back(city.effective_stop(rs.stop));
+  for (const RouteStop& rs : rev->stops()) r.push_back(city.effective_stop(rs.stop));
+  std::reverse(r.begin(), r.end());
+  EXPECT_EQ(f, r);
+}
+
+}  // namespace
+}  // namespace bussense

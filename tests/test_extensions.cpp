@@ -1,0 +1,579 @@
+// Tests for the extension modules: region inference, arrival prediction,
+// online database maintenance (with tower churn), serialization, transfer
+// trips and driver-bootstrap mode.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "common/stats.h"
+#include "core/arrival_predictor.h"
+#include "core/db_updater.h"
+#include "core/region_inference.h"
+#include "core/serialization.h"
+#include "core/server.h"
+#include "core/stop_database.h"
+#include "trafficsim/world.h"
+
+namespace bussense {
+namespace {
+
+struct Testbed {
+  World world;
+  StopDatabase database;
+
+  Testbed() {
+    Rng survey_rng(2024);
+    database = build_stop_database(
+        world.city(),
+        [&](StopId stop, int run) {
+          return world.scan_stop(stop, survey_rng, run % 2 == 1);
+        },
+        5);
+  }
+};
+
+const Testbed& testbed() {
+  static const Testbed bed;
+  return bed;
+}
+
+// --------------------------------------------------------- transfer trips
+
+TEST(TransferTrips, FindTransferStopsAreClose) {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  const BusRoute& a = *city.route_by_name("79", 0);
+  const BusRoute& b = *city.route_by_name("243", 0);
+  const auto [i, j] = bed.world.find_transfer_stops(a, b);
+  ASSERT_GE(i, 0);
+  ASSERT_GE(j, 0);
+  const double d = distance(
+      city.stop(a.stops()[static_cast<std::size_t>(i)].stop).position,
+      city.stop(b.stops()[static_cast<std::size_t>(j)].stop).position);
+  EXPECT_LT(d, 300.0);  // a walkable transfer
+}
+
+TEST(TransferTrips, UploadSpansBothLegsAsOneTrip) {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  const BusRoute& a = *city.route_by_name("79", 0);
+  const BusRoute& b = *city.route_by_name("243", 0);
+  const auto [ta, tb] = bed.world.find_transfer_stops(a, b);
+  Rng rng(1);
+  const AnnotatedTrip trip = bed.world.simulate_transfer_trip(
+      a, std::max(0, ta - 4), ta, b, tb,
+      std::min<int>(static_cast<int>(b.stop_count()) - 1, tb + 4),
+      at_clock(0, 10, 0), rng);
+  ASSERT_GE(trip.upload.samples.size(), 6u);
+  ASSERT_EQ(trip.truth.leg_routes.size(), 2u);
+  EXPECT_EQ(trip.truth.leg_routes[0], a.id());
+  EXPECT_EQ(trip.truth.leg_routes[1], b.id());
+  // Samples include true stops from both routes.
+  bool has_a = false, has_b = false;
+  for (StopId s : trip.truth.sample_stops) {
+    if (s == kInvalidStop) continue;
+    has_a = has_a || a.stop_index(s).has_value();
+    has_b = has_b || b.stop_index(s).has_value();
+  }
+  EXPECT_TRUE(has_a);
+  EXPECT_TRUE(has_b);
+}
+
+TEST(TransferTrips, ServerMapsConcatenatedRoutes) {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  TrafficServer server(city, bed.database);
+  const BusRoute& a = *city.route_by_name("99", 0);
+  const BusRoute& b = *city.route_by_name("252", 0);
+  const auto [ta, tb] = bed.world.find_transfer_stops(a, b);
+  Rng rng(2);
+  const AnnotatedTrip trip = bed.world.simulate_transfer_trip(
+      a, std::max(0, ta - 4), ta, b, tb,
+      std::min<int>(static_cast<int>(b.stop_count()) - 1, tb + 4),
+      at_clock(0, 11, 0), rng);
+  const auto report = server.process_trip(trip.upload);
+  // Mapping accuracy across the concatenation.
+  std::map<double, StopId> truth;
+  for (std::size_t i = 0; i < trip.upload.samples.size(); ++i) {
+    truth[trip.upload.samples[i].time] = trip.truth.sample_stops[i];
+  }
+  int correct = 0, total = 0;
+  for (const MappedCluster& mc : report.mapped.stops) {
+    const StopId t = truth.at(mc.cluster.members.front().sample.time);
+    if (t == kInvalidStop) continue;
+    ++total;
+    if (mc.stop == city.effective_stop(t)) ++correct;
+  }
+  ASSERT_GT(total, 5);
+  EXPECT_GE(static_cast<double>(correct) / total, 0.8);
+  // Estimates exist on both legs but never across the transfer gap.
+  EXPECT_GT(report.estimates.size(), 3u);
+}
+
+TEST(TransferTrips, DriverDayCoversEveryRoute) {
+  WorldConfig cfg;
+  cfg.city.route_names = {"79", "31"};
+  cfg.city.width_m = 5000.0;
+  cfg.city.height_m = 3000.0;
+  cfg.service_start_h = 9.0;
+  cfg.service_end_h = 11.0;
+  const World world(cfg);
+  Rng rng(3);
+  const auto trips = world.simulate_driver_day(0, rng);
+  // 4 directed routes x ~12 runs in 2 h.
+  EXPECT_GT(trips.size(), 30u);
+  std::map<std::int32_t, int> per_route;
+  for (const AnnotatedTrip& t : trips) ++per_route[t.truth.route_id];
+  EXPECT_EQ(per_route.size(), world.city().routes().size());
+}
+
+// -------------------------------------------------------- region inference
+
+TEST(RegionInference, ObservedLinksPassThrough) {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  const SegmentCatalog catalog(city);
+  SpeedFusion fusion;
+  for (const SegmentKey& key : catalog.adjacent_keys()) {
+    SpeedEstimate e;
+    e.segment = key;
+    e.att_speed_kmh = 33.0;
+    e.time = 10.0;
+    fusion.add(e);
+  }
+  fusion.flush_until(1e6);
+  const TrafficMap map = TrafficMap::snapshot(fusion, catalog, 400.0, 1e9);
+  const RegionInference inference(city, catalog);
+  const auto estimates = inference.infer(map);
+  int observed = 0;
+  for (const LinkTrafficEstimate& est : estimates) {
+    if (est.observed) {
+      ++observed;
+      EXPECT_NEAR(est.speed_kmh, 33.0, 1e-6);
+      EXPECT_DOUBLE_EQ(est.confidence, 1.0);
+    }
+  }
+  EXPECT_GT(observed, 100);
+}
+
+TEST(RegionInference, UniformCongestionTransfers) {
+  // Every observed segment at half its free speed => inferred links should
+  // land near 50% congestion too.
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  const SegmentCatalog catalog(city);
+  SpeedFusion fusion;
+  for (const SegmentKey& key : catalog.adjacent_keys()) {
+    const SpanInfo* info = catalog.adjacent(key);
+    SpeedEstimate e;
+    e.segment = key;
+    e.att_speed_kmh = info->free_speed_kmh * 0.5;
+    e.time = 10.0;
+    fusion.add(e);
+  }
+  fusion.flush_until(1e6);
+  const TrafficMap map = TrafficMap::snapshot(fusion, catalog, 400.0, 1e9);
+  const RegionInference inference(city, catalog);
+  int inferred = 0;
+  for (const LinkTrafficEstimate& est : inference.infer(map)) {
+    if (est.observed) continue;
+    ++inferred;
+    EXPECT_NEAR(est.congestion, 0.5, 0.05);
+    EXPECT_GT(est.confidence, 0.0);
+    EXPECT_LT(est.confidence, 1.0);
+  }
+  EXPECT_GT(inferred, 30);  // the network is bigger than the bus coverage
+}
+
+TEST(RegionInference, EmptyMapInfersNothing) {
+  const Testbed& bed = testbed();
+  const SegmentCatalog catalog(bed.world.city());
+  SpeedFusion fusion;
+  const TrafficMap map = TrafficMap::snapshot(fusion, catalog, 0.0, 1.0);
+  const RegionInference inference(bed.world.city(), catalog);
+  EXPECT_TRUE(inference.infer(map).empty());
+}
+
+// ------------------------------------------------------- arrival predictor
+
+TEST(ArrivalPredictor, FreeFlowEtaMatchesKinematics) {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  const SegmentCatalog catalog(city);
+  const ArrivalPredictor predictor(catalog);
+  const BusRoute& route = *city.route_by_name("79", 0);
+  const SpeedFusion empty_fusion;
+  const auto predictions =
+      predictor.predict(route, 0, 1000.0, empty_fusion, 1000.0);
+  ASSERT_EQ(predictions.size(), route.stop_count() - 1);
+  for (const ArrivalPrediction& p : predictions) {
+    EXPECT_FALSE(p.from_live_traffic);
+    EXPECT_GT(p.eta, 1000.0);
+  }
+  // Ballpark: ~400 m hops at ~40-48 km/h bus free speed plus overhead.
+  const double per_stop = predictions[4].travel_s / 5.0;
+  EXPECT_GT(per_stop, 25.0);
+  EXPECT_LT(per_stop, 80.0);
+}
+
+TEST(ArrivalPredictor, CongestionDelaysEta) {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  const SegmentCatalog catalog(city);
+  const ArrivalPredictor predictor(catalog);
+  const BusRoute& route = *city.route_by_name("79", 0);
+  SpeedFusion congested;
+  for (const SegmentKey& key : catalog.adjacent_keys()) {
+    SpeedEstimate e;
+    e.segment = key;
+    e.att_speed_kmh = 15.0;
+    e.time = 99000.0;  // period closes at 99300, fresh relative to `now`
+    congested.add(e);
+  }
+  congested.flush_until(1e5);
+  const SpeedFusion empty_fusion;
+  const auto slow = predictor.predict(route, 0, 1e5, congested, 1e5 + 10.0);
+  const auto fast = predictor.predict(route, 0, 1e5, empty_fusion, 1e5 + 10.0);
+  ASSERT_EQ(slow.size(), fast.size());
+  EXPECT_TRUE(slow[3].from_live_traffic);
+  EXPECT_GT(slow[3].travel_s, 1.5 * fast[3].travel_s);
+}
+
+TEST(ArrivalPredictor, StaleTrafficFallsBackToFreeFlow) {
+  const Testbed& bed = testbed();
+  const SegmentCatalog catalog(bed.world.city());
+  const ArrivalPredictor predictor(catalog);
+  const BusRoute& route = *bed.world.city().route_by_name("79", 0);
+  SpeedFusion stale;
+  for (const SegmentKey& key : catalog.adjacent_keys()) {
+    SpeedEstimate e;
+    e.segment = key;
+    e.att_speed_kmh = 15.0;
+    e.time = 100.0;
+    stale.add(e);
+  }
+  stale.flush_until(1e5);
+  const auto predictions =
+      predictor.predict(route, 0, 1e6, stale, 1e6);  // hours later
+  for (const ArrivalPrediction& p : predictions) {
+    EXPECT_FALSE(p.from_live_traffic);
+  }
+}
+
+TEST(ArrivalPredictor, PredictionsTrackSimulatedBus) {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  TrafficServer server(city, bed.database);
+  Rng rng(5);
+  // Prime the traffic map with a midday run's estimates.
+  const BusRoute& route = *city.route_by_name("243", 0);
+  const SimTime depart = at_clock(0, 12, 0);
+  const AnnotatedTrip primer = bed.world.simulate_single_trip(
+      route, 0, static_cast<int>(route.stop_count()) - 1, depart, rng);
+  server.process_trip(primer.upload);
+  server.advance_time(depart + kHour);
+
+  // Predict the next bus and compare against its simulated reality.
+  const ArrivalPredictor predictor(server.catalog());
+  const std::map<int, int> all_stops = [&] {
+    std::map<int, int> m;
+    for (std::size_t i = 0; i < route.stop_count(); ++i) {
+      m[static_cast<int>(i)] = 1;
+    }
+    return m;
+  }();
+  const SimTime next_depart = depart + 30 * kMinute;
+  const BusRun actual = bed.world.buses().simulate_run(
+      route, next_depart, all_stops, {}, 600.0, rng);
+  const auto predictions =
+      predictor.predict(route, 0, actual.visits[0].departure, server.fusion(),
+                        next_depart + kHour);
+  RunningStats err;
+  for (const ArrivalPrediction& p : predictions) {
+    const StopVisit& visit = actual.visits[static_cast<std::size_t>(p.stop_index)];
+    err.add(std::abs(p.eta - visit.arrival));
+  }
+  // Paper-companion quality: within about a minute over a whole route.
+  EXPECT_LT(err.mean(), 90.0);
+}
+
+TEST(ArrivalPredictor, RejectsBadIndex) {
+  const Testbed& bed = testbed();
+  const SegmentCatalog catalog(bed.world.city());
+  const ArrivalPredictor predictor(catalog);
+  const BusRoute& route = *bed.world.city().route_by_name("79", 0);
+  const SpeedFusion fusion;
+  EXPECT_THROW(predictor.predict(route, -1, 0.0, fusion, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(predictor.predict(route, static_cast<int>(route.stop_count()),
+                                 0.0, fusion, 0.0),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- db updater
+
+MappedTrip confident_trip(StopId stop, const Fingerprint& fp, int taps,
+                          double score = 5.0) {
+  MappedTrip trip;
+  SampleCluster cluster;
+  for (int i = 0; i < taps; ++i) {
+    cluster.members.push_back(
+        MatchedSample{CellularSample{static_cast<double>(i), fp}, stop, score});
+  }
+  cluster.candidates.push_back(StopCandidate{stop, 1.0, score});
+  trip.stops.push_back(MappedCluster{cluster, stop});
+  return trip;
+}
+
+TEST(DbUpdater, RefreshesDecayedEntryWithContinuity) {
+  DatabaseUpdater updater;
+  StopDatabase db;
+  // Incumbent shares a 3-ID block with the fresh samples (one tower
+  // renumbered): decayed below the refresh trigger but continuous.
+  db.add(7, Fingerprint{{1, 2, 3, 9}});
+  const Fingerprint fresh{{1, 2, 3, 4}};
+  const int refreshed =
+      updater.observe(confident_trip(7, fresh, 12), db);
+  EXPECT_EQ(refreshed, 1);
+  EXPECT_EQ(*db.fingerprint_of(7), fresh);
+  EXPECT_GT(updater.observations(), 10u);
+}
+
+TEST(DbUpdater, HealthyEntryIsLeftAlone) {
+  DatabaseUpdater updater;
+  StopDatabase db;
+  const Fingerprint entry{{1, 2, 3, 4, 5}};
+  db.add(7, entry);
+  // Fresh samples still align well (score 5 on a 5-ID entry).
+  EXPECT_EQ(updater.observe(confident_trip(7, entry, 12), db), 0);
+  EXPECT_EQ(*db.fingerprint_of(7), entry);
+}
+
+TEST(DbUpdater, ContinuityGuardBlocksForeignFingerprints) {
+  DatabaseUpdater updater;
+  StopDatabase db;
+  db.add(7, Fingerprint{{1, 2, 3, 9}});
+  // Confidently mis-mapped cluster from a different radio neighbourhood:
+  // decayed (sim 0) but not continuous either -> no refresh.
+  EXPECT_EQ(updater.observe(confident_trip(7, Fingerprint{{50, 51, 52, 53}}, 12), db),
+            0);
+  EXPECT_EQ(*db.fingerprint_of(7), (Fingerprint{{1, 2, 3, 9}}));
+}
+
+TEST(DbUpdater, IgnoresLowConfidenceClusters) {
+  DatabaseUpdater updater;
+  StopDatabase db;
+  db.add(7, Fingerprint{{1, 2, 3, 9}});
+  MappedTrip trip = confident_trip(7, Fingerprint{{1, 2, 3, 4}}, 12);
+  trip.stops[0].cluster.candidates[0].probability = 0.6;  // mixed votes
+  EXPECT_EQ(updater.observe(trip, db), 0);
+  trip.stops[0].cluster.candidates[0].probability = 1.0;
+  trip.stops[0].cluster.candidates[0].mean_similarity = 2.0;  // weak match
+  EXPECT_EQ(updater.observe(trip, db), 0);
+  EXPECT_EQ(*db.fingerprint_of(7), (Fingerprint{{1, 2, 3, 9}}));
+}
+
+TEST(DbUpdater, IgnoresClustersOverriddenByMapping) {
+  DatabaseUpdater updater;
+  StopDatabase db;
+  db.add(7, Fingerprint{{1, 2, 3, 9}});
+  MappedTrip trip = confident_trip(9, Fingerprint{{1, 2, 3, 4}}, 12);
+  // The trip mapper chose 7 even though the local match said 9: too risky.
+  trip.stops[0].stop = 7;
+  EXPECT_EQ(updater.observe(trip, db), 0);
+}
+
+TEST(DbUpdater, HoleRecoveryResurrectsDeadStop) {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  const RouteGraph graph(city);
+  const BusRoute& route = city.routes()[0];
+  auto eff = [&](int i) { return city.effective_stop(route.stops()[static_cast<std::size_t>(i)].stop); };
+
+  StopDatabase db;
+  db.add(eff(2), Fingerprint{{11, 12, 13, 14}});
+  db.add(eff(4), Fingerprint{{31, 32, 33, 34}});
+  db.add(eff(3), Fingerprint{{91, 92}});  // dead entry: matches nothing
+
+  // Upload: confident clusters at stops 2 and 4, orphans in between whose
+  // fingerprints never matched the dead entry.
+  TripUpload upload;
+  MappedTrip mapped;
+  auto add_cluster = [&](StopId stop, const Fingerprint& fp, double t0) {
+    SampleCluster c;
+    for (int i = 0; i < 4; ++i) {
+      const CellularSample s{t0 + i, fp};
+      upload.samples.push_back(s);
+      c.members.push_back(MatchedSample{s, stop, 4.0});
+    }
+    c.candidates.push_back(StopCandidate{stop, 1.0, 4.0});
+    mapped.stops.push_back(MappedCluster{c, stop});
+  };
+  add_cluster(eff(2), Fingerprint{{11, 12, 13, 14}}, 0.0);
+  const Fingerprint orphan_fp{{21, 22, 23, 24}};
+  for (int rep = 0; rep < 12; ++rep) {
+    upload.samples.push_back(CellularSample{60.0 + rep, orphan_fp});
+  }
+  add_cluster(eff(4), Fingerprint{{31, 32, 33, 34}}, 120.0);
+
+  DatabaseUpdater updater;
+  const int recovered = updater.recover_holes(upload, mapped, graph, db);
+  EXPECT_EQ(recovered, 1);
+  EXPECT_EQ(*db.fingerprint_of(eff(3)), orphan_fp);
+}
+
+TEST(DbUpdater, HoleRecoveryNeedsBothAnchors) {
+  const Testbed& bed = testbed();
+  const City& city = bed.world.city();
+  const RouteGraph graph(city);
+  StopDatabase db;
+  DatabaseUpdater updater;
+  TripUpload upload;
+  MappedTrip mapped;  // fewer than two clusters: nothing to anchor on
+  EXPECT_EQ(updater.recover_holes(upload, mapped, graph, db), 0);
+}
+
+TEST(DbUpdater, KeepsDatabaseHealthyUnderTowerChurn) {
+  // A world whose towers renumber at 3%/day. Accuracy is remarkably robust
+  // either way (partial fingerprints still win — see EXPERIMENTS.md for the
+  // negative system-level finding), but the *database health* — how well
+  // entries align with current scans — decays toward the γ = 2 acceptance
+  // threshold with a static DB and is held clearly above it by the updater.
+  WorldConfig cfg;
+  cfg.city.width_m = 4000.0;
+  cfg.city.height_m = 2500.0;
+  cfg.city.route_names = {"79", "243"};
+  cfg.tower_churn_per_day = 0.03;
+  cfg.seed = 31;
+  const World world(cfg);
+  const City& city = world.city();
+  const RouteGraph graph(city);
+  Rng rng(32);
+  StopDatabase static_db = build_stop_database(
+      city,
+      [&](StopId s, int) { return world.scan_stop(s, rng, false, 0.0); }, 3);
+  StopDatabase updated_db = static_db;
+  DatabaseUpdater updater;
+
+  for (int day = 0; day <= 30; day += 2) {
+    TrafficServer server(city, updated_db);
+    Rng day_rng(100 + static_cast<std::uint64_t>(day));
+    for (const BusRoute* route :
+         {city.route_by_name("79", 0), city.route_by_name("243", 0)}) {
+      for (int k = 0; k < 4; ++k) {
+        const AnnotatedTrip trip = world.simulate_single_trip(
+            *route, 1, static_cast<int>(route->stop_count()) - 2,
+            at_clock(day, 8 + 3 * k, 0), day_rng);
+        const auto report = server.process_trip(trip.upload);
+        updater.observe(report.mapped, updated_db);
+        updater.recover_holes(trip.upload, report.mapped, graph, updated_db);
+      }
+    }
+  }
+  EXPECT_GT(updater.refreshes(), 10u);
+
+  auto health = [&](const StopDatabase& db) {
+    Rng r(777);
+    double total = 0.0;
+    int n = 0;
+    for (const StopRecord& rec : db.records()) {
+      for (int k = 0; k < 3; ++k) {
+        total += similarity(
+            world.scan_stop(rec.stop, r, false, at_clock(30, 12, 0)),
+            rec.fingerprint);
+        ++n;
+      }
+    }
+    return total / n;
+  };
+  const double static_health = health(static_db);
+  const double updated_health = health(updated_db);
+  EXPECT_GT(updated_health, static_health + 0.3);
+}
+
+// ------------------------------------------------------------ serialization
+
+TEST(Serialization, StopDatabaseRoundTrip) {
+  StopDatabase db;
+  db.add(3, Fingerprint{{1101, 1102, 1103}});
+  db.add(9, Fingerprint{{2201}});
+  db.add(12, Fingerprint{});
+  std::stringstream ss;
+  save_stop_database(db, ss);
+  const StopDatabase loaded = load_stop_database(ss);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(*loaded.fingerprint_of(3), (Fingerprint{{1101, 1102, 1103}}));
+  EXPECT_EQ(*loaded.fingerprint_of(9), (Fingerprint{{2201}}));
+  EXPECT_TRUE(loaded.fingerprint_of(12)->empty());
+}
+
+TEST(Serialization, TripsRoundTrip) {
+  std::vector<TripUpload> trips(2);
+  trips[0].participant_id = 4;
+  trips[0].samples = {CellularSample{100.5, Fingerprint{{1, 2}}},
+                      CellularSample{130.25, Fingerprint{{3}}}};
+  trips[1].participant_id = 9;  // empty trip
+  std::stringstream ss;
+  save_trips(trips, ss);
+  const auto loaded = load_trips(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].participant_id, 4);
+  ASSERT_EQ(loaded[0].samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[0].samples[1].time, 130.25);
+  EXPECT_EQ(loaded[0].samples[0].fingerprint, (Fingerprint{{1, 2}}));
+  EXPECT_TRUE(loaded[1].samples.empty());
+}
+
+TEST(Serialization, RejectsCorruptInput) {
+  std::stringstream no_header("not a header\n");
+  EXPECT_THROW(load_stop_database(no_header), std::runtime_error);
+  std::stringstream bad_line("bussense-stopdb v1\nstop x y\n");
+  EXPECT_THROW(load_stop_database(bad_line), std::runtime_error);
+  std::stringstream truncated("bussense-trips v1\ntrip 1 2\nsample 1.0 5\n");
+  EXPECT_THROW(load_trips(truncated), std::runtime_error);
+  std::stringstream bad_cell("bussense-stopdb v1\nstop 1 12,ab\n");
+  EXPECT_THROW(load_stop_database(bad_cell), std::runtime_error);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  StopDatabase db;
+  db.add(1, Fingerprint{{5, 6}});
+  const std::string path = ::testing::TempDir() + "/bussense_db.txt";
+  save_stop_database(db, path);
+  const StopDatabase loaded = load_stop_database(path);
+  EXPECT_EQ(*loaded.fingerprint_of(1), (Fingerprint{{5, 6}}));
+  EXPECT_THROW(load_stop_database(path + ".missing"), std::runtime_error);
+}
+
+// ------------------------------------------------------------ tower churn
+
+TEST(TowerChurn, ZeroChurnIsIdentity) {
+  const Testbed& bed = testbed();
+  const Fingerprint fp{{1101, 1102}};
+  EXPECT_EQ(bed.world.apply_churn(fp, 30 * kDay), fp);
+}
+
+TEST(TowerChurn, ChurnRenumbersOverTime) {
+  WorldConfig cfg;
+  cfg.city.width_m = 4000.0;
+  cfg.city.height_m = 2500.0;
+  cfg.city.route_names = {"79"};
+  cfg.tower_churn_per_day = 0.05;
+  const World world(cfg);
+  Rng rng(1);
+  const StopId stop = world.city().routes()[0].stops()[2].stop;
+  // Mean RSS ordering is stable, so comparing day-0 and day-40 scans
+  // isolates the renumbering.
+  int changed = 0;
+  for (int k = 0; k < 10; ++k) {
+    Rng r1(static_cast<std::uint64_t>(k)), r2(static_cast<std::uint64_t>(k));
+    const Fingerprint early = world.scan_stop(stop, r1, false, 0.0);
+    const Fingerprint late = world.scan_stop(stop, r2, false, 40 * kDay);
+    if (!(early == late)) ++changed;
+  }
+  EXPECT_GT(changed, 7);  // 5%/day over 40 days churns almost every tower
+}
+
+}  // namespace
+}  // namespace bussense

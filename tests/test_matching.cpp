@@ -1,0 +1,148 @@
+// Unit tests for the modified Smith–Waterman fingerprint matcher — including
+// the paper's Table I worked example.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/matching.h"
+
+namespace bussense {
+namespace {
+
+TEST(Matching, PaperTableOneInstanceScores2point4) {
+  // Upload {1,2,3,4,5} vs database {1,7,3,5}: 3 matches, 1 gap, 1 mismatch.
+  const Fingerprint upload{{1, 2, 3, 4, 5}};
+  const Fingerprint database{{1, 7, 3, 5}};
+  EXPECT_NEAR(similarity(upload, database), 2.4, 1e-9);
+  const Alignment a = align(upload, database);
+  EXPECT_NEAR(a.score, 2.4, 1e-9);
+  EXPECT_EQ(a.matches, 3);
+  EXPECT_EQ(a.mismatches, 1);
+  EXPECT_EQ(a.gaps, 1);
+}
+
+TEST(Matching, IdenticalFingerprintsScoreFullLength) {
+  const Fingerprint fp{{10, 20, 30, 40, 50, 60, 70}};
+  EXPECT_DOUBLE_EQ(similarity(fp, fp), 7.0);
+  const Alignment a = align(fp, fp);
+  EXPECT_EQ(a.matches, 7);
+  EXPECT_EQ(a.mismatches, 0);
+  EXPECT_EQ(a.gaps, 0);
+}
+
+TEST(Matching, DisjointFingerprintsScoreZero) {
+  EXPECT_DOUBLE_EQ(similarity(Fingerprint{{1, 2, 3}}, Fingerprint{{4, 5, 6}}),
+                   0.0);
+}
+
+TEST(Matching, EmptyFingerprintScoresZero) {
+  EXPECT_DOUBLE_EQ(similarity(Fingerprint{}, Fingerprint{{1, 2}}), 0.0);
+  EXPECT_DOUBLE_EQ(similarity(Fingerprint{{1, 2}}, Fingerprint{}), 0.0);
+  EXPECT_DOUBLE_EQ(align(Fingerprint{}, Fingerprint{}).score, 0.0);
+}
+
+TEST(Matching, ScoreIsSymmetric) {
+  // With symmetric penalties the optimal local alignment score is symmetric.
+  const Fingerprint a{{1, 2, 3, 4, 5, 6}};
+  const Fingerprint b{{2, 9, 4, 6, 8}};
+  EXPECT_DOUBLE_EQ(similarity(a, b), similarity(b, a));
+}
+
+TEST(Matching, LocalAlignmentIgnoresBadPrefix) {
+  // The matching block sits after unrelated leading IDs; local alignment
+  // must still find it at full score.
+  const Fingerprint a{{100, 200, 1, 2, 3}};
+  const Fingerprint b{{1, 2, 3}};
+  EXPECT_DOUBLE_EQ(similarity(a, b), 3.0);
+}
+
+TEST(Matching, RankOrderMatters) {
+  // Same ID set, reversed order: alignment cannot recover full score.
+  const Fingerprint a{{1, 2, 3, 4, 5}};
+  const Fingerprint b{{5, 4, 3, 2, 1}};
+  EXPECT_LT(similarity(a, b), 2.0);
+}
+
+TEST(Matching, SingleRankSwapCostsLittle) {
+  // Adjacent rank flip (the common temporal perturbation) keeps the score
+  // high — the robustness the paper relies on.
+  const Fingerprint a{{1, 2, 3, 4, 5}};
+  const Fingerprint b{{1, 3, 2, 4, 5}};
+  EXPECT_GE(similarity(a, b), 3.4);
+}
+
+TEST(Matching, GapPenaltyAppliedPerSkip) {
+  const Fingerprint a{{1, 2, 3}};
+  const Fingerprint b{{1, 9, 9, 2, 3}};  // two gaps in b
+  EXPECT_NEAR(similarity(a, b), 3.0 - 2 * 0.3, 1e-9);
+}
+
+TEST(Matching, ScoreBoundedByMaxSimilarity) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    Fingerprint a, b;
+    const int na = rng.uniform_int(1, 7);
+    const int nb = rng.uniform_int(1, 7);
+    for (int i = 0; i < na; ++i) a.cells.push_back(rng.uniform_int(1, 12));
+    for (int i = 0; i < nb; ++i) b.cells.push_back(rng.uniform_int(1, 12));
+    const double s = similarity(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, max_similarity(a, b) + 1e-9);
+  }
+}
+
+TEST(Matching, MaxSimilarityUsesShorterLength) {
+  EXPECT_DOUBLE_EQ(max_similarity(Fingerprint{{1, 2, 3}}, Fingerprint{{1, 2}}),
+                   2.0);
+  MatchingConfig cfg;
+  cfg.match_score = 2.0;
+  EXPECT_DOUBLE_EQ(
+      max_similarity(Fingerprint{{1, 2, 3}}, Fingerprint{{1, 2}}, cfg), 4.0);
+}
+
+// Penalty sweep (the paper varied the mismatch cost 0.1–0.9): score of the
+// Table I instance decreases monotonically in the penalty.
+class PenaltySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PenaltySweep, TableOneScoreFormula) {
+  MatchingConfig cfg;
+  cfg.mismatch_penalty = GetParam();
+  cfg.gap_penalty = GetParam();
+  const Fingerprint upload{{1, 2, 3, 4, 5}};
+  const Fingerprint database{{1, 7, 3, 5}};
+  // Best alignment depends on the penalty: with high penalties the aligner
+  // can retreat to shorter all-match blocks. Score stays within bounds and
+  // decreases weakly with the penalty.
+  const double s = similarity(upload, database, cfg);
+  EXPECT_LE(s, 3.0);
+  EXPECT_GE(s, 1.0);  // block {1} alone already scores 1
+  MatchingConfig softer = cfg;
+  softer.mismatch_penalty = std::max(0.0, cfg.mismatch_penalty - 0.1);
+  softer.gap_penalty = softer.mismatch_penalty;
+  EXPECT_GE(similarity(upload, database, softer), s - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Penalties, PenaltySweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
+                                           0.8, 0.9));
+
+TEST(Matching, AlignmentStatsConsistentWithScore) {
+  Rng rng(2);
+  const MatchingConfig cfg;
+  for (int trial = 0; trial < 300; ++trial) {
+    Fingerprint a, b;
+    const int na = rng.uniform_int(1, 7);
+    const int nb = rng.uniform_int(1, 7);
+    for (int i = 0; i < na; ++i) a.cells.push_back(rng.uniform_int(1, 10));
+    for (int i = 0; i < nb; ++i) b.cells.push_back(rng.uniform_int(1, 10));
+    const Alignment al = align(a, b, cfg);
+    const double reconstructed = al.matches * cfg.match_score -
+                                 al.mismatches * cfg.mismatch_penalty -
+                                 al.gaps * cfg.gap_penalty;
+    EXPECT_NEAR(al.score, reconstructed, 1e-9)
+        << to_string(a) << " vs " << to_string(b);
+    EXPECT_NEAR(al.score, similarity(a, b, cfg), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace bussense

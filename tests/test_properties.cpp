@@ -1,0 +1,332 @@
+// Cross-module property and parameterized sweeps: invariants that must hold
+// across configurations, seeds and scales (not just the default testbed).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "citynet/city_generator.h"
+#include "common/stats.h"
+#include "core/matching.h"
+#include "core/route_graph.h"
+#include "core/segment_catalog.h"
+#include "cellular/deployment.h"
+#include "cellular/scanner.h"
+#include "core/stop_matcher.h"
+#include "core/server.h"
+#include "core/travel_estimator.h"
+#include "core/traffic_map.h"
+#include "dsp/audio_synth.h"
+#include "dsp/beep_detector.h"
+#include "dsp/fft.h"
+#include "dsp/goertzel.h"
+#include "trafficsim/world.h"
+
+namespace bussense {
+namespace {
+
+// ------------------------------------------------------ city invariants
+
+struct CityParams {
+  double width;
+  double height;
+  std::uint64_t seed;
+  std::vector<std::string> routes;
+};
+
+class CityInvariants : public ::testing::TestWithParam<CityParams> {};
+
+TEST_P(CityInvariants, HoldAcrossConfigurations) {
+  const CityParams& p = GetParam();
+  CityConfig cfg;
+  cfg.width_m = p.width;
+  cfg.height_m = p.height;
+  cfg.seed = p.seed;
+  cfg.route_names = p.routes;
+  const City city = generate_city(cfg);
+
+  // Route invariants: spans tile, stops ordered, both directions mirrored.
+  for (const BusRoute& route : city.routes()) {
+    double expected = 0.0;
+    for (const LinkSpan& span : route.link_spans()) {
+      EXPECT_NEAR(span.arc_begin, expected, 1e-6);
+      expected = span.arc_end;
+    }
+    EXPECT_NEAR(expected, route.length(), 1e-6);
+    for (std::size_t i = 1; i < route.stops().size(); ++i) {
+      EXPECT_GT(route.stops()[i].arc_pos, route.stops()[i - 1].arc_pos);
+    }
+  }
+  // Twin symmetry everywhere.
+  for (const BusStop& s : city.stops()) {
+    if (s.opposite) {
+      EXPECT_EQ(*city.stop(*s.opposite).opposite, s.id);
+    }
+  }
+  // The segment catalog must cover every adjacent pair.
+  const SegmentCatalog catalog(city);
+  for (const BusRoute& route : city.routes()) {
+    for (std::size_t i = 0; i + 1 < route.stop_count(); ++i) {
+      const SegmentKey key{city.effective_stop(route.stops()[i].stop),
+                           city.effective_stop(route.stops()[i + 1].stop)};
+      EXPECT_NE(catalog.adjacent(key), nullptr);
+    }
+  }
+  // The route graph respects every route order.
+  const RouteGraph graph(city);
+  for (const BusRoute& route : city.routes()) {
+    const auto& seq = graph.route_sequence(route.id());
+    for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+      EXPECT_EQ(graph.relation(seq[i], seq[i + 1]), 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, CityInvariants,
+    ::testing::Values(
+        CityParams{7000, 4000, 7, {"79", "99", "241", "243", "252", "257", "182", "31"}},
+        CityParams{7000, 4000, 99, {"79", "99", "243"}},
+        CityParams{5000, 5000, 3, {"241", "252", "182"}},
+        CityParams{4000, 2500, 11, {"79", "31"}},
+        CityParams{9000, 6000, 21, {"99", "257", "182", "31"}}));
+
+// ----------------------------------------------------- matching properties
+
+class MatchingProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingProperties, TriangleOfBasicInvariants) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    Fingerprint a, b;
+    const int na = rng.uniform_int(1, 7);
+    const int nb = rng.uniform_int(1, 7);
+    std::set<CellId> seen;
+    for (int i = 0; i < na; ++i) a.cells.push_back(rng.uniform_int(1, 15));
+    for (int i = 0; i < nb; ++i) b.cells.push_back(rng.uniform_int(1, 15));
+    const double sab = similarity(a, b);
+    // Symmetry, bounds, self-maximality.
+    EXPECT_DOUBLE_EQ(sab, similarity(b, a));
+    EXPECT_GE(sab, 0.0);
+    EXPECT_LE(sab, max_similarity(a, b) + 1e-9);
+    EXPECT_GE(similarity(a, a), sab - 1e-9);
+    // Appending a fresh unmatched id never lowers the local-alignment score.
+    Fingerprint a_ext = a;
+    a_ext.cells.push_back(9999);
+    EXPECT_GE(similarity(a_ext, b) + 1e-9, sab);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperties,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------- goertzel vs fft
+
+class SpectrumAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpectrumAgreement, ParsevalHoldsForAllSizes) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<float> x(n);
+  for (float& v : x) v = static_cast<float>(rng.normal(0.0, 1.0));
+  double time_energy = 0.0;
+  for (float v : x) time_energy += static_cast<double>(v) * v;
+  const auto spec = fft_real(x);
+  double freq_energy = 0.0;
+  for (const auto& c : spec) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(spec.size()), time_energy,
+              1e-6 * time_energy + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpectrumAgreement,
+                         ::testing::Values(2, 16, 64, 128, 256, 500, 1024));
+
+// SNR sweep: the detector holds its ~98% hit rate down to modest beep
+// amplitudes and never fires without a beep.
+class BeepSnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BeepSnrSweep, DetectsAtAmplitude) {
+  AudioEnvironmentConfig env;
+  env.beep_amplitude = GetParam();
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  int hits = 0;
+  const int trials = 12;
+  for (int i = 0; i < trials; ++i) {
+    const auto audio = synthesize_bus_audio(env, 4.0, {2.0}, rng);
+    BeepDetector detector;
+    const auto events = detector.process(audio);
+    hits += !events.empty() && std::abs(events.front().time - 2.0) < 0.1;
+  }
+  EXPECT_GE(hits, trials - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, BeepSnrSweep,
+                         ::testing::Values(0.15, 0.2, 0.3, 0.5));
+
+// ------------------------------------------------------ radio propagation
+
+class PathLossExponent : public ::testing::TestWithParam<double> {};
+
+TEST_P(PathLossExponent, MeanSlopeMatchesModel) {
+  PropagationConfig cfg;
+  cfg.path_loss_exponent = GetParam();
+  cfg.shadow_sigma_db = 0.0;  // isolate the deterministic slope
+  std::vector<CellTower> towers{{1, {0.0, 0.0}, 38.5}};
+  const RadioEnvironment env(towers, cfg, 1);
+  const double r1 = env.mean_rss_dbm(env.towers()[0], {100.0, 0.0});
+  const double r2 = env.mean_rss_dbm(env.towers()[0], {1000.0, 0.0});
+  // One decade of distance costs 10*n dB.
+  EXPECT_NEAR(r1 - r2, 10.0 * GetParam(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PathLossExponent,
+                         ::testing::Values(2.0, 2.7, 3.5, 4.0));
+
+class ScannerCap : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScannerCap, NeverExceedsMaxTowers) {
+  Rng rng(5);
+  const BoundingBox region{{0.0, 0.0}, {3000.0, 3000.0}};
+  const auto towers = deploy_towers(region, DeploymentConfig{}, rng);
+  const RadioEnvironment env(towers, PropagationConfig{}, 2);
+  ScannerConfig cfg;
+  cfg.max_towers = GetParam();
+  const CellScanner scanner(cfg);
+  for (int i = 0; i < 20; ++i) {
+    const Point p{rng.uniform(500.0, 2500.0), rng.uniform(500.0, 2500.0)};
+    EXPECT_LE(scanner.scan_fingerprint(env, p, rng).size(), GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, ScannerCap, ::testing::Values(1, 3, 5, 7, 10));
+
+// ----------------------------------------------------- traffic field days
+
+TEST(TrafficFieldProperties, ConsecutiveDaysDiffer) {
+  const City city = generate_city();
+  const TrafficField field(city.network(), TrafficFieldConfig{}, 5);
+  // The noise periods do not divide a day, so day 0 and day 1 at the same
+  // clock time are distinct while both stay within bounds.
+  int distinct = 0;
+  for (SegmentId link = 0; link < 50; ++link) {
+    const double v0 = field.car_speed_kmh(link, at_clock(0, 9, 0));
+    const double v1 = field.car_speed_kmh(link, at_clock(1, 9, 0));
+    if (std::abs(v0 - v1) > 0.1) ++distinct;
+  }
+  EXPECT_GT(distinct, 30);
+}
+
+TEST(TrafficFieldProperties, HarmonicMeanBelowArithmetic) {
+  const City city = generate_city();
+  const TrafficField field(city.network(), TrafficFieldConfig{}, 6);
+  const BusRoute& route = city.routes()[0];
+  const SimTime t = at_clock(0, 8, 30);
+  const auto parts = route.link_lengths_between(0.0, 3000.0);
+  double arith = 0.0, len = 0.0;
+  for (const auto& [link, l] : parts) {
+    arith += field.car_speed_kmh(link, t) * l;
+    len += l;
+  }
+  arith /= len;
+  EXPECT_LE(field.mean_car_speed_kmh(route, 0.0, 3000.0, t), arith + 1e-9);
+}
+
+// ------------------------------------------------------------- bus physics
+
+class BusKinematics : public ::testing::TestWithParam<int> {};
+
+TEST_P(BusKinematics, SpeedRespectsLimitsEveryRun) {
+  static const World world{};
+  const BusRoute& route =
+      world.city().routes()[static_cast<std::size_t>(GetParam())];
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 50);
+  const BusRun run = world.buses().simulate_run(
+      route, at_clock(0, 8, 0), {{1, 2}}, {}, 600.0, rng,
+      /*record_trajectory=*/true);
+  const double vmax = kmh_to_ms(world.buses().config().max_speed_kmh);
+  for (std::size_t i = 1; i < run.trajectory.size(); ++i) {
+    const double dt = run.trajectory[i].time - run.trajectory[i - 1].time;
+    if (dt <= 0.0) continue;
+    const double v = (run.trajectory[i].arc - run.trajectory[i - 1].arc) / dt;
+    EXPECT_LE(v, vmax + 0.5);
+    EXPECT_GE(v, -1e-9);
+  }
+  // Arrival/departure bookkeeping is monotone across the whole run.
+  SimTime prev = run.depart_time;
+  for (const StopVisit& v : run.visits) {
+    EXPECT_GE(v.arrival, prev - 1e-9);
+    EXPECT_GE(v.departure, v.arrival);
+    prev = v.departure;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Routes, BusKinematics,
+                         ::testing::Values(0, 2, 5, 8, 11, 14));
+
+// -------------------------------------------------------------- estimator
+
+TEST(TravelModelProperties, AttMonotoneInBtt) {
+  const City city = generate_city();
+  const SegmentCatalog catalog(city);
+  const TravelEstimator est(catalog);
+  double prev = 0.0;
+  for (double btt = 10.0; btt < 400.0; btt += 10.0) {
+    const double att = est.att_seconds(btt, 400.0, 50.0);
+    EXPECT_GE(att, prev);
+    prev = att;
+  }
+}
+
+TEST(TravelModelProperties, SpeedLevelsPartitionTheLine) {
+  // Every speed belongs to exactly one of the five display levels and the
+  // mapping is monotone.
+  SpeedLevel prev = classify_speed(0.0);
+  for (double v = 0.0; v < 90.0; v += 0.5) {
+    const SpeedLevel level = classify_speed(v);
+    EXPECT_GE(static_cast<int>(level), static_cast<int>(prev));
+    prev = level;
+  }
+  EXPECT_EQ(prev, SpeedLevel::kVeryFast);
+}
+
+// ------------------------------------------------------------- world scale
+
+class WorldScales : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorldScales, DayPipelineConsistentAtAnyParticipation) {
+  static const World world{};
+  static StopDatabase db = [] {
+    Rng survey(2024);
+    return build_stop_database(
+        world.city(),
+        [&](StopId s, int run) { return world.scan_stop(s, survey, run % 2); },
+        3);
+  }();
+  WorldConfig cfg = world.config();
+  cfg.participant_count = GetParam();
+  const World scaled(cfg);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const auto day = scaled.simulate_day(0, 1.0, rng);
+  TrafficServer server(scaled.city(), db);
+  int estimates = 0;
+  for (const AnnotatedTrip& trip : day.trips) {
+    const auto report = server.process_trip(trip.upload);
+    estimates += static_cast<int>(report.estimates.size());
+    // Every estimate's speed is physical.
+    for (const SpeedEstimate& e : report.estimates) {
+      EXPECT_GT(e.att_speed_kmh, 0.0);
+      EXPECT_LT(e.att_speed_kmh, 80.0);
+      EXPECT_GT(e.btt_s, 0.0);
+    }
+  }
+  if (GetParam() > 0) {
+    EXPECT_GT(estimates, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Participants, WorldScales,
+                         ::testing::Values(1, 5, 22));
+
+}  // namespace
+}  // namespace bussense

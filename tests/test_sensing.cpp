@@ -1,0 +1,281 @@
+// Unit tests for the phone-side sensing stack: GPS error model, vehicle
+// classification, trip recorder, power model.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "sensing/accel_model.h"
+#include "sensing/gps_model.h"
+#include "sensing/power_model.h"
+#include "sensing/trip_recorder.h"
+
+namespace bussense {
+namespace {
+
+// --------------------------------------------------------------- gps model
+
+TEST(GpsModel, StationaryMatchesPaperFigure1) {
+  const GpsModel gps;
+  Rng rng(1);
+  EmpiricalDistribution d;
+  for (int i = 0; i < 30000; ++i) {
+    d.add(gps.sample_error_m(GpsMode::kStationary, rng));
+  }
+  EXPECT_NEAR(d.median(), 40.0, 2.0);       // paper: median ~40 m
+  EXPECT_NEAR(d.percentile(90.0), 75.0, 5.0);  // paper: p90 ~75 m
+}
+
+TEST(GpsModel, MobileOnBusWorseThanStationary) {
+  const GpsModel gps;
+  Rng rng(2);
+  EmpiricalDistribution d;
+  for (int i = 0; i < 30000; ++i) {
+    d.add(gps.sample_error_m(GpsMode::kMobileOnBus, rng));
+  }
+  EXPECT_NEAR(d.median(), 68.0, 3.0);        // paper: median ~68 m
+  EXPECT_NEAR(d.percentile(90.0), 130.0, 8.0);  // paper: p90 ~130 m
+}
+
+TEST(GpsModel, FixOffsetMatchesSampledError) {
+  const GpsModel gps;
+  Rng rng(3);
+  const Point truth{1000.0, 2000.0};
+  RunningStats err;
+  for (int i = 0; i < 5000; ++i) {
+    err.add(distance(gps.sample_fix(truth, GpsMode::kStationary, rng), truth));
+  }
+  EXPECT_NEAR(err.mean(), 45.0, 5.0);  // lognormal(40, .49) mean ~45
+}
+
+TEST(GpsModel, BearingIsUnbiased) {
+  const GpsModel gps;
+  Rng rng(4);
+  const Point truth{0.0, 0.0};
+  Point sum{0.0, 0.0};
+  for (int i = 0; i < 20000; ++i) {
+    sum = sum + gps.sample_fix(truth, GpsMode::kMobileOnBus, rng);
+  }
+  EXPECT_NEAR(sum.x / 20000.0, 0.0, 2.0);
+  EXPECT_NEAR(sum.y / 20000.0, 0.0, 2.0);
+}
+
+// ------------------------------------------------------------- accel model
+
+TEST(AccelModel, BusAndTrainPopulationsSeparate) {
+  const AccelModel accel;
+  Rng rng(5);
+  int bus_below = 0, train_above = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (accel.sample_variance(VehicleClass::kBus, rng) <
+        kDefaultAccelVarianceThreshold) {
+      ++bus_below;
+    }
+    if (accel.sample_variance(VehicleClass::kRapidTrain, rng) >=
+        kDefaultAccelVarianceThreshold) {
+      ++train_above;
+    }
+  }
+  // Misclassification on either side stays below ~1%.
+  EXPECT_LT(bus_below, n / 100);
+  EXPECT_LT(train_above, n / 100);
+}
+
+TEST(AccelModel, MediansMatchConfig) {
+  AccelModelConfig cfg;
+  const AccelModel accel(cfg);
+  Rng rng(6);
+  EmpiricalDistribution bus, train;
+  for (int i = 0; i < 20000; ++i) {
+    bus.add(accel.sample_variance(VehicleClass::kBus, rng));
+    train.add(accel.sample_variance(VehicleClass::kRapidTrain, rng));
+  }
+  EXPECT_NEAR(bus.median(), cfg.bus_variance_median, 0.05);
+  EXPECT_NEAR(train.median(), cfg.train_variance_median, 0.01);
+}
+
+// ----------------------------------------------------------- trip recorder
+
+TripRecorder make_recorder(double accel_variance = 1.0,
+                           TripRecorderConfig cfg = {}) {
+  return TripRecorder(
+      cfg, 7, [](SimTime) { return Fingerprint{{1, 2, 3}}; },
+      [accel_variance](SimTime) { return accel_variance; });
+}
+
+TEST(TripRecorder, RecordsSamplesPerBeep) {
+  auto rec = make_recorder();
+  EXPECT_FALSE(rec.on_beep(100.0).has_value());
+  EXPECT_TRUE(rec.recording());
+  rec.on_beep(101.0);
+  rec.on_beep(160.0);
+  EXPECT_EQ(rec.open_sample_count(), 3u);
+  const auto trip = rec.flush();
+  ASSERT_TRUE(trip.has_value());
+  EXPECT_EQ(trip->samples.size(), 3u);
+  EXPECT_EQ(trip->participant_id, 7);
+  EXPECT_DOUBLE_EQ(trip->samples[0].time, 100.0);
+  EXPECT_EQ(trip->samples[0].fingerprint, (Fingerprint{{1, 2, 3}}));
+}
+
+TEST(TripRecorder, TimeoutConcludesTrip) {
+  auto rec = make_recorder();
+  rec.on_beep(0.0);
+  rec.on_beep(30.0);
+  EXPECT_FALSE(rec.tick(500.0).has_value());  // within 10 min
+  const auto trip = rec.tick(700.0);
+  ASSERT_TRUE(trip.has_value());
+  EXPECT_EQ(trip->samples.size(), 2u);
+  EXPECT_FALSE(rec.recording());
+}
+
+TEST(TripRecorder, LateBeepClosesOldTripAndOpensNew) {
+  auto rec = make_recorder();
+  rec.on_beep(0.0);
+  rec.on_beep(20.0);
+  const auto done = rec.on_beep(2000.0);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->samples.size(), 2u);
+  EXPECT_TRUE(rec.recording());
+  EXPECT_EQ(rec.open_sample_count(), 1u);
+}
+
+TEST(TripRecorder, TrainRidesAreRejected) {
+  auto rec = make_recorder(/*accel_variance=*/0.05);
+  EXPECT_FALSE(rec.on_beep(0.0).has_value());
+  EXPECT_FALSE(rec.recording());
+  EXPECT_FALSE(rec.flush().has_value());
+}
+
+TEST(TripRecorder, AccelCheckedOnlyAtTripStart) {
+  // First beep on a bus; later low-variance readings don't cancel the trip.
+  int calls = 0;
+  TripRecorder rec(
+      TripRecorderConfig{}, 1, [](SimTime) { return Fingerprint{{9}}; },
+      [&calls](SimTime) {
+        ++calls;
+        return calls == 1 ? 1.0 : 0.01;
+      });
+  rec.on_beep(0.0);
+  rec.on_beep(10.0);
+  rec.on_beep(20.0);
+  const auto trip = rec.flush();
+  ASSERT_TRUE(trip.has_value());
+  EXPECT_EQ(trip->samples.size(), 3u);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TripRecorder, SingleSampleTripDiscarded) {
+  auto rec = make_recorder();
+  rec.on_beep(0.0);
+  EXPECT_FALSE(rec.flush().has_value());
+}
+
+TEST(TripRecorder, MinSamplesConfigurable) {
+  TripRecorderConfig cfg;
+  cfg.min_samples = 1;
+  auto rec = make_recorder(1.0, cfg);
+  rec.on_beep(0.0);
+  const auto trip = rec.flush();
+  ASSERT_TRUE(trip.has_value());
+  EXPECT_EQ(trip->samples.size(), 1u);
+}
+
+TEST(TripRecorder, RequiresCallbacks) {
+  EXPECT_THROW(TripRecorder(TripRecorderConfig{}, 0, nullptr,
+                            [](SimTime) { return 1.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(TripRecorder(TripRecorderConfig{}, 0,
+                            [](SimTime) { return Fingerprint{}; }, nullptr),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- power model
+
+TEST(PowerModel, TableThreeHtcValues) {
+  const PowerModel power;
+  const PhoneProfile htc = htc_sensation_profile();
+  EXPECT_NEAR(power.mean_power_mw(htc, SensorConfig::kNoSensors), 70.0, 1.0);
+  EXPECT_NEAR(power.mean_power_mw(htc, SensorConfig::kCellular1Hz), 72.0, 1.0);
+  EXPECT_NEAR(power.mean_power_mw(htc, SensorConfig::kGps), 340.0, 2.0);
+  EXPECT_NEAR(power.mean_power_mw(htc, SensorConfig::kCellularMicGoertzel),
+              82.0, 3.0);
+  EXPECT_NEAR(power.mean_power_mw(htc, SensorConfig::kGpsMicGoertzel), 447.0,
+              5.0);
+}
+
+TEST(PowerModel, TableThreeNexusValues) {
+  const PowerModel power;
+  const PhoneProfile nexus = nexus_one_profile();
+  EXPECT_NEAR(power.mean_power_mw(nexus, SensorConfig::kNoSensors), 84.0, 1.0);
+  EXPECT_NEAR(power.mean_power_mw(nexus, SensorConfig::kCellular1Hz), 85.0, 1.0);
+  EXPECT_NEAR(power.mean_power_mw(nexus, SensorConfig::kGps), 333.0, 2.0);
+  EXPECT_NEAR(power.mean_power_mw(nexus, SensorConfig::kCellularMicGoertzel),
+              96.0, 3.0);
+  EXPECT_NEAR(power.mean_power_mw(nexus, SensorConfig::kGpsMicGoertzel), 443.0,
+              5.0);
+}
+
+TEST(PowerModel, GoertzelSavesOverFft) {
+  // Paper Section IV-D: replacing FFT with Goertzel cuts the app draw by
+  // tens of milliwatts.
+  const PowerModel power;
+  const PhoneProfile htc = htc_sensation_profile();
+  const double goertzel =
+      power.mean_power_mw(htc, SensorConfig::kCellularMicGoertzel);
+  const double fft = power.mean_power_mw(htc, SensorConfig::kCellularMicFft);
+  EXPECT_GT(fft - goertzel, 40.0);
+  EXPECT_LT(fft - goertzel, 90.0);
+}
+
+TEST(PowerModel, DspRateModelOrdersCorrectly) {
+  const PowerModel power;
+  // Goertzel monitors M=2 tones: 16k MAC/s at 8 kHz; the FFT front end costs
+  // over an order of magnitude more.
+  EXPECT_DOUBLE_EQ(power.dsp_mac_rate(false), 16000.0);
+  EXPECT_GT(power.dsp_mac_rate(true), 10.0 * power.dsp_mac_rate(false));
+}
+
+TEST(PowerModel, GpsDominatesCellular) {
+  const PowerModel power;
+  for (const PhoneProfile& phone :
+       {htc_sensation_profile(), nexus_one_profile()}) {
+    const double gps = power.mean_power_mw(phone, SensorConfig::kGps) -
+                       power.mean_power_mw(phone, SensorConfig::kNoSensors);
+    const double cell =
+        power.mean_power_mw(phone, SensorConfig::kCellular1Hz) -
+        power.mean_power_mw(phone, SensorConfig::kNoSensors);
+    EXPECT_GT(gps, 100.0 * cell);
+  }
+}
+
+TEST(PowerModel, SessionMeasurementNoiseShrinksWithDuration) {
+  const PowerModel power;
+  const PhoneProfile htc = htc_sensation_profile();
+  Rng rng(20);
+  RunningStats short_runs, long_runs;
+  for (int i = 0; i < 400; ++i) {
+    short_runs.add(
+        power.measure_session_mw(htc, SensorConfig::kGps, 60.0, rng));
+    long_runs.add(
+        power.measure_session_mw(htc, SensorConfig::kGps, 3600.0, rng));
+  }
+  EXPECT_GT(short_runs.stddev(), 2.0 * long_runs.stddev());
+  EXPECT_NEAR(long_runs.mean(), 340.0, 10.0);
+}
+
+TEST(PowerModel, SessionRejectsNonPositiveDuration) {
+  const PowerModel power;
+  Rng rng(21);
+  EXPECT_THROW(power.measure_session_mw(htc_sensation_profile(),
+                                        SensorConfig::kGps, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(PowerModel, ConfigNames) {
+  EXPECT_EQ(to_string(SensorConfig::kNoSensors), "No sensors");
+  EXPECT_EQ(to_string(SensorConfig::kGpsMicGoertzel), "GPS+Mic(Goertzel)");
+  EXPECT_EQ(to_string(SensorConfig::kCellularMicFft), "Cellular+Mic(FFT)");
+}
+
+}  // namespace
+}  // namespace bussense

@@ -1,0 +1,91 @@
+// Tests for the SVG traffic-map renderer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "citynet/city_generator.h"
+#include "core/svg_map.h"
+
+namespace bussense {
+namespace {
+
+struct Fixture {
+  City city = generate_city();
+  SegmentCatalog catalog{city};
+
+  TrafficMap map_with(double speed_kmh, int segments) const {
+    SpeedFusion fusion;
+    for (int i = 0; i < segments; ++i) {
+      SpeedEstimate e;
+      e.segment = catalog.adjacent_keys()[static_cast<std::size_t>(i)];
+      e.att_speed_kmh = speed_kmh;
+      e.time = 10.0;
+      fusion.add(e);
+    }
+    fusion.flush_until(1e6);
+    return TrafficMap::snapshot(fusion, catalog, 400.0, 1e9);
+  }
+};
+
+TEST(SvgMap, ProducesWellFormedDocument) {
+  const Fixture f;
+  std::ostringstream os;
+  write_svg_map(f.map_with(35.0, 5), f.catalog, os);
+  const std::string svg = os.str();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Road base layer + stops + 5 coloured segments.
+  EXPECT_GT(std::count(svg.begin(), svg.end(), '\n'), 200);
+  EXPECT_NE(svg.find("#cccccc"), std::string::npos);   // roads
+  EXPECT_NE(svg.find("<circle"), std::string::npos);   // stops
+  EXPECT_NE(svg.find(speed_level_color(SpeedLevel::kMedium)),
+            std::string::npos);
+}
+
+TEST(SvgMap, ColorsFollowSpeedLevels) {
+  const Fixture f;
+  std::ostringstream slow, fast;
+  write_svg_map(f.map_with(12.0, 3), f.catalog, slow);
+  write_svg_map(f.map_with(58.0, 3), f.catalog, fast);
+  EXPECT_NE(slow.str().find(speed_level_color(SpeedLevel::kVerySlow)),
+            std::string::npos);
+  EXPECT_EQ(slow.str().find(speed_level_color(SpeedLevel::kVeryFast)),
+            std::string::npos);
+  EXPECT_NE(fast.str().find(speed_level_color(SpeedLevel::kVeryFast)),
+            std::string::npos);
+}
+
+TEST(SvgMap, AllLevelColorsDistinct) {
+  std::set<std::string> colors;
+  for (SpeedLevel level :
+       {SpeedLevel::kVerySlow, SpeedLevel::kSlow, SpeedLevel::kMedium,
+        SpeedLevel::kFast, SpeedLevel::kVeryFast}) {
+    colors.insert(speed_level_color(level));
+  }
+  EXPECT_EQ(colors.size(), 5u);
+}
+
+TEST(SvgMap, OptionsControlLayers) {
+  const Fixture f;
+  SvgMapOptions no_stops;
+  no_stops.draw_stops = false;
+  std::ostringstream os;
+  write_svg_map(f.map_with(35.0, 2), f.catalog, os, no_stops);
+  EXPECT_EQ(os.str().find("<circle"), std::string::npos);
+}
+
+TEST(SvgMap, FileOverloadWritesAndThrows) {
+  const Fixture f;
+  const std::string path = ::testing::TempDir() + "/bussense_map.svg";
+  write_svg_map(f.map_with(35.0, 2), f.catalog, path);
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good());
+  EXPECT_THROW(
+      write_svg_map(f.map_with(35.0, 2), f.catalog, "/nonexistent-dir/x.svg"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bussense

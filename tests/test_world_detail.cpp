@@ -1,0 +1,271 @@
+// Detailed behavioural tests for the world orchestrator and the estimation
+// round-trip identities between the core models.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/arrival_predictor.h"
+#include "core/region_inference.h"
+#include "core/segment_catalog.h"
+#include "core/travel_estimator.h"
+#include "trafficsim/world.h"
+
+namespace bussense {
+namespace {
+
+const World& test_world() {
+  static const World world{};
+  return world;
+}
+
+// ----------------------------------------------------------- day structure
+
+TEST(WorldDay, RunCountsMatchHeadwayAndServiceWindow) {
+  const World& world = test_world();
+  Rng rng(1);
+  const auto day = world.simulate_day(0, 0.0, rng);  // no participants
+  EXPECT_TRUE(day.trips.empty());
+  // Service window 6:30-21:00 at 10-minute headway: ~87 runs per directed
+  // route, 16 routes.
+  const double expected_per_route =
+      (world.config().service_end_h - world.config().service_start_h) *
+      3600.0 / world.config().headway_s;
+  const double expected = expected_per_route * 16;
+  EXPECT_NEAR(static_cast<double>(day.runs.size()), expected, expected * 0.08);
+  std::map<RouteId, int> per_route;
+  for (const BusRun& run : day.runs) {
+    ++per_route[run.route];
+    EXPECT_GE(time_of_day(run.depart_time) / kHour,
+              world.config().service_start_h - 0.1);
+    EXPECT_LE(time_of_day(run.depart_time) / kHour,
+              world.config().service_end_h + 0.1);
+  }
+  EXPECT_EQ(per_route.size(), 16u);
+}
+
+TEST(WorldDay, TripsFallInsideServiceHours) {
+  const World& world = test_world();
+  Rng rng(2);
+  const auto day = world.simulate_day(0, 1.5, rng);
+  ASSERT_GT(day.trips.size(), 30u);
+  for (const AnnotatedTrip& trip : day.trips) {
+    for (const CellularSample& s : trip.upload.samples) {
+      const double h = time_of_day(s.time) / kHour;
+      EXPECT_GT(h, world.config().service_start_h - 0.2);
+      EXPECT_LT(h, world.config().service_end_h + 2.5);  // last runs finish late
+    }
+  }
+}
+
+TEST(WorldDay, FalseBeepsAreMarkedInvalidInTruth) {
+  WorldConfig cfg;
+  cfg.city.route_names = {"79", "243"};
+  cfg.city.width_m = 5000.0;
+  cfg.city.height_m = 3000.0;
+  cfg.false_beeps_per_trip = 4.0;  // force plenty of spurious samples
+  const World world(cfg);
+  Rng rng(3);
+  const BusRoute& route = *world.city().route_by_name("79", 0);
+  int invalid = 0, total = 0;
+  for (int k = 0; k < 6; ++k) {
+    const AnnotatedTrip trip = world.simulate_single_trip(
+        route, 1, static_cast<int>(route.stop_count()) - 2,
+        at_clock(0, 9 + k, 0), rng);
+    for (StopId s : trip.truth.sample_stops) {
+      ++total;
+      invalid += s == kInvalidStop;
+    }
+  }
+  EXPECT_GT(invalid, 5);
+  EXPECT_LT(invalid, total / 3);
+}
+
+TEST(WorldDay, ZeroDetectionProbabilityYieldsNoTrips) {
+  WorldConfig cfg;
+  cfg.city.route_names = {"79"};
+  cfg.city.width_m = 5000.0;
+  cfg.city.height_m = 3000.0;
+  cfg.beep_detection_prob = 0.0;
+  cfg.false_beeps_per_trip = 0.0;
+  const World world(cfg);
+  Rng rng(4);
+  const auto day = world.simulate_day(0, 2.0, rng);
+  EXPECT_TRUE(day.trips.empty());
+}
+
+TEST(WorldDay, SampleStopsAreServedStopsOfTheRun) {
+  const World& world = test_world();
+  Rng rng(5);
+  const auto day = world.simulate_day(0, 1.0, rng);
+  for (const AnnotatedTrip& trip : day.trips) {
+    const BusRoute& route = world.city().route(trip.truth.route_id);
+    for (StopId s : trip.truth.sample_stops) {
+      if (s == kInvalidStop) continue;
+      EXPECT_TRUE(route.stop_index(s).has_value());
+    }
+  }
+}
+
+// ----------------------------------------------------- estimation identity
+
+TEST(ModelIdentity, PredictorInvertsEstimatorExactly) {
+  // att_seconds and segment_bus_time_s are inverse maps for BTT >= free
+  // flow: estimate a speed from a BTT, then predict the BTT back.
+  const World& world = test_world();
+  const SegmentCatalog catalog(world.city());
+  AttModelConfig att;
+  const TravelEstimator estimator(catalog, att);
+  ArrivalPredictorConfig pcfg;
+  pcfg.att = att;
+  const ArrivalPredictor predictor(catalog, pcfg);
+  for (const SegmentKey& key : catalog.adjacent_keys()) {
+    const SpanInfo* info = catalog.adjacent(key);
+    const double free_btt =
+        estimator.free_bus_time_s(info->length_m, info->free_speed_kmh);
+    for (double extra : {0.0, 15.0, 60.0, 200.0}) {
+      const double btt = free_btt + extra;
+      const double att_s =
+          estimator.att_seconds(btt, info->length_m, info->free_speed_kmh);
+      const double speed = info->length_m / 1000.0 / (att_s / 3600.0);
+      EXPECT_NEAR(predictor.segment_bus_time_s(*info, speed), btt, 0.5)
+          << "segment " << key.from << "->" << key.to << " extra " << extra;
+    }
+  }
+}
+
+TEST(ModelIdentity, FreeFlowSpeedsRoundTripThroughTheMap) {
+  // Free-flow BTT -> estimator -> speed equals the catalogued free speed.
+  const World& world = test_world();
+  const SegmentCatalog catalog(world.city());
+  const TravelEstimator estimator(catalog);
+  for (const SegmentKey& key : catalog.adjacent_keys()) {
+    const SpanInfo* info = catalog.adjacent(key);
+    const double free_btt =
+        estimator.free_bus_time_s(info->length_m, info->free_speed_kmh);
+    const double att_s =
+        estimator.att_seconds(free_btt, info->length_m, info->free_speed_kmh);
+    const double speed = info->length_m / 1000.0 / (att_s / 3600.0);
+    EXPECT_NEAR(speed, info->free_speed_kmh, 1e-6);
+  }
+}
+
+// ------------------------------------------------------- region inference
+
+TEST(RegionInferenceDetail, WiderKernelReachesMoreLinks) {
+  const World& world = test_world();
+  const SegmentCatalog catalog(world.city());
+  SpeedFusion fusion;
+  // Sparse evidence: one estimate on a single segment.
+  SpeedEstimate e;
+  e.segment = catalog.adjacent_keys()[10];
+  e.att_speed_kmh = 25.0;
+  e.time = 10.0;
+  fusion.add(e);
+  fusion.flush_until(1e6);
+  const TrafficMap map = TrafficMap::snapshot(fusion, catalog, 400.0, 1e9);
+
+  RegionInferenceConfig narrow, wide;
+  narrow.kernel_bandwidth_m = 300.0;
+  wide.kernel_bandwidth_m = 1500.0;
+  const RegionInference inf_narrow(world.city(), catalog, narrow);
+  const RegionInference inf_wide(world.city(), catalog, wide);
+  EXPECT_LT(inf_narrow.infer(map).size(), inf_wide.infer(map).size());
+}
+
+TEST(RegionInferenceDetail, CrossClassAffinityDampensTransfer) {
+  const World& world = test_world();
+  const SegmentCatalog catalog(world.city());
+  SpeedFusion fusion;
+  for (const SegmentKey& key : catalog.adjacent_keys()) {
+    const SpanInfo* info = catalog.adjacent(key);
+    SpeedEstimate e;
+    e.segment = key;
+    e.att_speed_kmh = info->free_speed_kmh * 0.4;  // 60% congestion
+    e.time = 10.0;
+    fusion.add(e);
+  }
+  fusion.flush_until(1e6);
+  const TrafficMap map = TrafficMap::snapshot(fusion, catalog, 400.0, 1e9);
+  RegionInferenceConfig blocked;
+  blocked.cross_class_affinity = 0.0;  // no transfer across classes
+  const RegionInference inference(world.city(), catalog, blocked);
+  for (const LinkTrafficEstimate& est : inference.infer(map)) {
+    if (est.observed) continue;
+    // Still inferred (same-class evidence exists) and still ~60% congested.
+    EXPECT_NEAR(est.congestion, 0.6, 0.08);
+  }
+}
+
+// ----------------------------------------------------------- taps & dwell
+
+TEST(BusDetail, ForcedAlighterAloneStillServesStop) {
+  const World& world = test_world();
+  const BusRoute& route = *world.city().route_by_name("31", 0);
+  // Night-time run: background demand ~0, but one rider must get off.
+  Rng rng(6);
+  const BusRun run = world.buses().simulate_run(
+      route, at_clock(0, 23, 30), {}, {{5, 1}}, 600.0, rng);
+  EXPECT_TRUE(run.visits[5].served);
+  EXPECT_GE(run.visits[5].alighters, 1);
+  ASSERT_FALSE(run.visits[5].taps.empty());
+  EXPECT_FALSE(run.visits[5].taps.front().boarding);  // tap-out
+}
+
+TEST(BusDetail, SkippedStopsHaveNoDwell) {
+  const World& world = test_world();
+  const BusRoute& route = *world.city().route_by_name("31", 0);
+  Rng rng(7);
+  const BusRun run = world.buses().simulate_run(
+      route, at_clock(0, 23, 45), {}, {}, 30.0, rng);  // tiny headway window
+  int skipped = 0;
+  for (const StopVisit& v : run.visits) {
+    if (!v.served) {
+      ++skipped;
+      EXPECT_DOUBLE_EQ(v.arrival, v.departure);
+    }
+  }
+  EXPECT_GT(skipped, 3);  // late night, near-zero demand
+}
+
+TEST(BusDetail, HigherDemandWindowMeansMoreBoarders) {
+  const World& world = test_world();
+  const BusRoute& route = *world.city().route_by_name("79", 0);
+  Rng rng(8);
+  int short_window = 0, long_window = 0;
+  for (int k = 0; k < 5; ++k) {
+    const BusRun a = world.buses().simulate_run(route, at_clock(0, 8, 10 * k),
+                                                {}, {}, 120.0, rng);
+    const BusRun b = world.buses().simulate_run(route, at_clock(0, 8, 10 * k),
+                                                {}, {}, 1200.0, rng);
+    for (const StopVisit& v : a.visits) short_window += v.boarders;
+    for (const StopVisit& v : b.visits) long_window += v.boarders;
+  }
+  EXPECT_GT(long_window, 3 * short_window);
+}
+
+// ------------------------------------------------------------ churn extras
+
+TEST(ChurnDetail, EventRenumbersExpectedFraction) {
+  WorldConfig cfg;
+  cfg.city.route_names = {"79"};
+  cfg.city.width_m = 5000.0;
+  cfg.city.height_m = 3000.0;
+  cfg.tower_churn_event_day = 3;
+  cfg.tower_churn_event_fraction = 0.5;
+  const World world(cfg);
+  // Build a wide fingerprint over many ids and compare before/after.
+  Fingerprint fp;
+  for (CellId id = 1001; id < 1401; ++id) fp.cells.push_back(id);
+  const Fingerprint before = world.apply_churn(fp, at_clock(2, 12, 0));
+  const Fingerprint after = world.apply_churn(fp, at_clock(3, 12, 0));
+  EXPECT_EQ(before, fp);  // nothing before the event day
+  int changed = 0;
+  for (std::size_t i = 0; i < fp.cells.size(); ++i) {
+    if (after.cells[i] != fp.cells[i]) ++changed;
+  }
+  EXPECT_NEAR(static_cast<double>(changed) / fp.cells.size(), 0.5, 0.08);
+}
+
+}  // namespace
+}  // namespace bussense
