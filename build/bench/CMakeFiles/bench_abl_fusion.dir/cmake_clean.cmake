@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_fusion.dir/bench_abl_fusion.cpp.o"
+  "CMakeFiles/bench_abl_fusion.dir/bench_abl_fusion.cpp.o.d"
+  "bench_abl_fusion"
+  "bench_abl_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

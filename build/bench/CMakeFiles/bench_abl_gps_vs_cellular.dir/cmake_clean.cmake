@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_gps_vs_cellular.dir/bench_abl_gps_vs_cellular.cpp.o"
+  "CMakeFiles/bench_abl_gps_vs_cellular.dir/bench_abl_gps_vs_cellular.cpp.o.d"
+  "bench_abl_gps_vs_cellular"
+  "bench_abl_gps_vs_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_gps_vs_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_scalability.dir/bench_abl_scalability.cpp.o"
+  "CMakeFiles/bench_abl_scalability.dir/bench_abl_scalability.cpp.o.d"
+  "bench_abl_scalability"
+  "bench_abl_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_trip_mapping.dir/bench_abl_trip_mapping.cpp.o"
+  "CMakeFiles/bench_abl_trip_mapping.dir/bench_abl_trip_mapping.cpp.o.d"
+  "bench_abl_trip_mapping"
+  "bench_abl_trip_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_trip_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq03_regression.dir/bench_eq03_regression.cpp.o"
+  "CMakeFiles/bench_eq03_regression.dir/bench_eq03_regression.cpp.o.d"
+  "bench_eq03_regression"
+  "bench_eq03_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq03_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_db_maintenance.dir/bench_ext_db_maintenance.cpp.o"
+  "CMakeFiles/bench_ext_db_maintenance.dir/bench_ext_db_maintenance.cpp.o.d"
+  "bench_ext_db_maintenance"
+  "bench_ext_db_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_db_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

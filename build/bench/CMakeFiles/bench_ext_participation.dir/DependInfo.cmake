@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_participation.cpp" "bench/CMakeFiles/bench_ext_participation.dir/bench_ext_participation.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_participation.dir/bench_ext_participation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bussense_benchcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bussense_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficsim/CMakeFiles/bussense_trafficsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/bussense_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/citynet/CMakeFiles/bussense_citynet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/bussense_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/bussense_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bussense_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

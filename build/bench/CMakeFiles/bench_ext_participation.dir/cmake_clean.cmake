@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_participation.dir/bench_ext_participation.cpp.o"
+  "CMakeFiles/bench_ext_participation.dir/bench_ext_participation.cpp.o.d"
+  "bench_ext_participation"
+  "bench_ext_participation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_participation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

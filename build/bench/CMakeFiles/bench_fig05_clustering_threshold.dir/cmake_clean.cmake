@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_clustering_threshold.dir/bench_fig05_clustering_threshold.cpp.o"
+  "CMakeFiles/bench_fig05_clustering_threshold.dir/bench_fig05_clustering_threshold.cpp.o.d"
+  "bench_fig05_clustering_threshold"
+  "bench_fig05_clustering_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_clustering_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

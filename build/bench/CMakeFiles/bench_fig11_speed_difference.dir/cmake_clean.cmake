@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_speed_difference.dir/bench_fig11_speed_difference.cpp.o"
+  "CMakeFiles/bench_fig11_speed_difference.dir/bench_fig11_speed_difference.cpp.o.d"
+  "bench_fig11_speed_difference"
+  "bench_fig11_speed_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_speed_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab02_stop_identification.dir/bench_tab02_stop_identification.cpp.o"
+  "CMakeFiles/bench_tab02_stop_identification.dir/bench_tab02_stop_identification.cpp.o.d"
+  "bench_tab02_stop_identification"
+  "bench_tab02_stop_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab02_stop_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libbussense_benchcommon.a"
+  "../lib/libbussense_benchcommon.pdb"
+  "CMakeFiles/bussense_benchcommon.dir/bench_common.cpp.o"
+  "CMakeFiles/bussense_benchcommon.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bussense_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

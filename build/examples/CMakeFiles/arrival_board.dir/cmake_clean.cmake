@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_board.dir/arrival_board.cpp.o"
+  "CMakeFiles/arrival_board.dir/arrival_board.cpp.o.d"
+  "arrival_board"
+  "arrival_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

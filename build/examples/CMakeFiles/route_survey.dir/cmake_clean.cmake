@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_survey.dir/route_survey.cpp.o"
+  "CMakeFiles/route_survey.dir/route_survey.cpp.o.d"
+  "route_survey"
+  "route_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellular/deployment.cpp" "src/cellular/CMakeFiles/bussense_cellular.dir/deployment.cpp.o" "gcc" "src/cellular/CMakeFiles/bussense_cellular.dir/deployment.cpp.o.d"
+  "/root/repo/src/cellular/fingerprint.cpp" "src/cellular/CMakeFiles/bussense_cellular.dir/fingerprint.cpp.o" "gcc" "src/cellular/CMakeFiles/bussense_cellular.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/cellular/radio_environment.cpp" "src/cellular/CMakeFiles/bussense_cellular.dir/radio_environment.cpp.o" "gcc" "src/cellular/CMakeFiles/bussense_cellular.dir/radio_environment.cpp.o.d"
+  "/root/repo/src/cellular/scanner.cpp" "src/cellular/CMakeFiles/bussense_cellular.dir/scanner.cpp.o" "gcc" "src/cellular/CMakeFiles/bussense_cellular.dir/scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bussense_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bussense_cellular.dir/deployment.cpp.o"
+  "CMakeFiles/bussense_cellular.dir/deployment.cpp.o.d"
+  "CMakeFiles/bussense_cellular.dir/fingerprint.cpp.o"
+  "CMakeFiles/bussense_cellular.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/bussense_cellular.dir/radio_environment.cpp.o"
+  "CMakeFiles/bussense_cellular.dir/radio_environment.cpp.o.d"
+  "CMakeFiles/bussense_cellular.dir/scanner.cpp.o"
+  "CMakeFiles/bussense_cellular.dir/scanner.cpp.o.d"
+  "libbussense_cellular.a"
+  "libbussense_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bussense_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

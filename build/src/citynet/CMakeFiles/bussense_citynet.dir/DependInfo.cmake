@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/citynet/bus_route.cpp" "src/citynet/CMakeFiles/bussense_citynet.dir/bus_route.cpp.o" "gcc" "src/citynet/CMakeFiles/bussense_citynet.dir/bus_route.cpp.o.d"
+  "/root/repo/src/citynet/city.cpp" "src/citynet/CMakeFiles/bussense_citynet.dir/city.cpp.o" "gcc" "src/citynet/CMakeFiles/bussense_citynet.dir/city.cpp.o.d"
+  "/root/repo/src/citynet/city_generator.cpp" "src/citynet/CMakeFiles/bussense_citynet.dir/city_generator.cpp.o" "gcc" "src/citynet/CMakeFiles/bussense_citynet.dir/city_generator.cpp.o.d"
+  "/root/repo/src/citynet/road_network.cpp" "src/citynet/CMakeFiles/bussense_citynet.dir/road_network.cpp.o" "gcc" "src/citynet/CMakeFiles/bussense_citynet.dir/road_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bussense_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bussense_citynet.dir/bus_route.cpp.o"
+  "CMakeFiles/bussense_citynet.dir/bus_route.cpp.o.d"
+  "CMakeFiles/bussense_citynet.dir/city.cpp.o"
+  "CMakeFiles/bussense_citynet.dir/city.cpp.o.d"
+  "CMakeFiles/bussense_citynet.dir/city_generator.cpp.o"
+  "CMakeFiles/bussense_citynet.dir/city_generator.cpp.o.d"
+  "CMakeFiles/bussense_citynet.dir/road_network.cpp.o"
+  "CMakeFiles/bussense_citynet.dir/road_network.cpp.o.d"
+  "libbussense_citynet.a"
+  "libbussense_citynet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bussense_citynet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

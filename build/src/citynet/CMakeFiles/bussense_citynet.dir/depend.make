@@ -1,0 +1,2 @@
+# Empty dependencies file for bussense_citynet.
+# This may be replaced when dependencies are built.

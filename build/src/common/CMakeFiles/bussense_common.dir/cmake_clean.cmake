@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bussense_common.dir/geo.cpp.o"
+  "CMakeFiles/bussense_common.dir/geo.cpp.o.d"
+  "CMakeFiles/bussense_common.dir/stats.cpp.o"
+  "CMakeFiles/bussense_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bussense_common.dir/table.cpp.o"
+  "CMakeFiles/bussense_common.dir/table.cpp.o.d"
+  "libbussense_common.a"
+  "libbussense_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bussense_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arrival_predictor.cpp" "src/core/CMakeFiles/bussense_core.dir/arrival_predictor.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/arrival_predictor.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/bussense_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/concurrent_server.cpp" "src/core/CMakeFiles/bussense_core.dir/concurrent_server.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/concurrent_server.cpp.o.d"
+  "/root/repo/src/core/db_updater.cpp" "src/core/CMakeFiles/bussense_core.dir/db_updater.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/db_updater.cpp.o.d"
+  "/root/repo/src/core/fusion.cpp" "src/core/CMakeFiles/bussense_core.dir/fusion.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/fusion.cpp.o.d"
+  "/root/repo/src/core/gps_tracker.cpp" "src/core/CMakeFiles/bussense_core.dir/gps_tracker.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/gps_tracker.cpp.o.d"
+  "/root/repo/src/core/matching.cpp" "src/core/CMakeFiles/bussense_core.dir/matching.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/matching.cpp.o.d"
+  "/root/repo/src/core/region_inference.cpp" "src/core/CMakeFiles/bussense_core.dir/region_inference.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/region_inference.cpp.o.d"
+  "/root/repo/src/core/route_graph.cpp" "src/core/CMakeFiles/bussense_core.dir/route_graph.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/route_graph.cpp.o.d"
+  "/root/repo/src/core/segment_catalog.cpp" "src/core/CMakeFiles/bussense_core.dir/segment_catalog.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/segment_catalog.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/bussense_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/serialization.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/bussense_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/server.cpp.o.d"
+  "/root/repo/src/core/stop_database.cpp" "src/core/CMakeFiles/bussense_core.dir/stop_database.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/stop_database.cpp.o.d"
+  "/root/repo/src/core/stop_matcher.cpp" "src/core/CMakeFiles/bussense_core.dir/stop_matcher.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/stop_matcher.cpp.o.d"
+  "/root/repo/src/core/svg_map.cpp" "src/core/CMakeFiles/bussense_core.dir/svg_map.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/svg_map.cpp.o.d"
+  "/root/repo/src/core/traffic_map.cpp" "src/core/CMakeFiles/bussense_core.dir/traffic_map.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/traffic_map.cpp.o.d"
+  "/root/repo/src/core/travel_estimator.cpp" "src/core/CMakeFiles/bussense_core.dir/travel_estimator.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/travel_estimator.cpp.o.d"
+  "/root/repo/src/core/trip_mapper.cpp" "src/core/CMakeFiles/bussense_core.dir/trip_mapper.cpp.o" "gcc" "src/core/CMakeFiles/bussense_core.dir/trip_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bussense_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/bussense_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/citynet/CMakeFiles/bussense_citynet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/bussense_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/bussense_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

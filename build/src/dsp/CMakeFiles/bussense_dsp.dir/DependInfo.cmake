@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/audio_synth.cpp" "src/dsp/CMakeFiles/bussense_dsp.dir/audio_synth.cpp.o" "gcc" "src/dsp/CMakeFiles/bussense_dsp.dir/audio_synth.cpp.o.d"
+  "/root/repo/src/dsp/beep_detector.cpp" "src/dsp/CMakeFiles/bussense_dsp.dir/beep_detector.cpp.o" "gcc" "src/dsp/CMakeFiles/bussense_dsp.dir/beep_detector.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/bussense_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/bussense_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/goertzel.cpp" "src/dsp/CMakeFiles/bussense_dsp.dir/goertzel.cpp.o" "gcc" "src/dsp/CMakeFiles/bussense_dsp.dir/goertzel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bussense_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bussense_dsp.dir/audio_synth.cpp.o"
+  "CMakeFiles/bussense_dsp.dir/audio_synth.cpp.o.d"
+  "CMakeFiles/bussense_dsp.dir/beep_detector.cpp.o"
+  "CMakeFiles/bussense_dsp.dir/beep_detector.cpp.o.d"
+  "CMakeFiles/bussense_dsp.dir/fft.cpp.o"
+  "CMakeFiles/bussense_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/bussense_dsp.dir/goertzel.cpp.o"
+  "CMakeFiles/bussense_dsp.dir/goertzel.cpp.o.d"
+  "libbussense_dsp.a"
+  "libbussense_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bussense_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

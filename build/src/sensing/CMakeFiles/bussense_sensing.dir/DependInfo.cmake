@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/accel_model.cpp" "src/sensing/CMakeFiles/bussense_sensing.dir/accel_model.cpp.o" "gcc" "src/sensing/CMakeFiles/bussense_sensing.dir/accel_model.cpp.o.d"
+  "/root/repo/src/sensing/gps_model.cpp" "src/sensing/CMakeFiles/bussense_sensing.dir/gps_model.cpp.o" "gcc" "src/sensing/CMakeFiles/bussense_sensing.dir/gps_model.cpp.o.d"
+  "/root/repo/src/sensing/power_model.cpp" "src/sensing/CMakeFiles/bussense_sensing.dir/power_model.cpp.o" "gcc" "src/sensing/CMakeFiles/bussense_sensing.dir/power_model.cpp.o.d"
+  "/root/repo/src/sensing/trip_recorder.cpp" "src/sensing/CMakeFiles/bussense_sensing.dir/trip_recorder.cpp.o" "gcc" "src/sensing/CMakeFiles/bussense_sensing.dir/trip_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bussense_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/bussense_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/bussense_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bussense_sensing.dir/accel_model.cpp.o"
+  "CMakeFiles/bussense_sensing.dir/accel_model.cpp.o.d"
+  "CMakeFiles/bussense_sensing.dir/gps_model.cpp.o"
+  "CMakeFiles/bussense_sensing.dir/gps_model.cpp.o.d"
+  "CMakeFiles/bussense_sensing.dir/power_model.cpp.o"
+  "CMakeFiles/bussense_sensing.dir/power_model.cpp.o.d"
+  "CMakeFiles/bussense_sensing.dir/trip_recorder.cpp.o"
+  "CMakeFiles/bussense_sensing.dir/trip_recorder.cpp.o.d"
+  "libbussense_sensing.a"
+  "libbussense_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bussense_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trafficsim/bus_sim.cpp" "src/trafficsim/CMakeFiles/bussense_trafficsim.dir/bus_sim.cpp.o" "gcc" "src/trafficsim/CMakeFiles/bussense_trafficsim.dir/bus_sim.cpp.o.d"
+  "/root/repo/src/trafficsim/demand.cpp" "src/trafficsim/CMakeFiles/bussense_trafficsim.dir/demand.cpp.o" "gcc" "src/trafficsim/CMakeFiles/bussense_trafficsim.dir/demand.cpp.o.d"
+  "/root/repo/src/trafficsim/taxi_feed.cpp" "src/trafficsim/CMakeFiles/bussense_trafficsim.dir/taxi_feed.cpp.o" "gcc" "src/trafficsim/CMakeFiles/bussense_trafficsim.dir/taxi_feed.cpp.o.d"
+  "/root/repo/src/trafficsim/traffic_field.cpp" "src/trafficsim/CMakeFiles/bussense_trafficsim.dir/traffic_field.cpp.o" "gcc" "src/trafficsim/CMakeFiles/bussense_trafficsim.dir/traffic_field.cpp.o.d"
+  "/root/repo/src/trafficsim/world.cpp" "src/trafficsim/CMakeFiles/bussense_trafficsim.dir/world.cpp.o" "gcc" "src/trafficsim/CMakeFiles/bussense_trafficsim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bussense_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/citynet/CMakeFiles/bussense_citynet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/bussense_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/bussense_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/bussense_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

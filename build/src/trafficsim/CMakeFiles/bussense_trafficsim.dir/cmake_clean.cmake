@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bussense_trafficsim.dir/bus_sim.cpp.o"
+  "CMakeFiles/bussense_trafficsim.dir/bus_sim.cpp.o.d"
+  "CMakeFiles/bussense_trafficsim.dir/demand.cpp.o"
+  "CMakeFiles/bussense_trafficsim.dir/demand.cpp.o.d"
+  "CMakeFiles/bussense_trafficsim.dir/taxi_feed.cpp.o"
+  "CMakeFiles/bussense_trafficsim.dir/taxi_feed.cpp.o.d"
+  "CMakeFiles/bussense_trafficsim.dir/traffic_field.cpp.o"
+  "CMakeFiles/bussense_trafficsim.dir/traffic_field.cpp.o.d"
+  "CMakeFiles/bussense_trafficsim.dir/world.cpp.o"
+  "CMakeFiles/bussense_trafficsim.dir/world.cpp.o.d"
+  "libbussense_trafficsim.a"
+  "libbussense_trafficsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bussense_trafficsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_citynet.dir/test_citynet.cpp.o"
+  "CMakeFiles/test_citynet.dir/test_citynet.cpp.o.d"
+  "test_citynet"
+  "test_citynet.pdb"
+  "test_citynet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_citynet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

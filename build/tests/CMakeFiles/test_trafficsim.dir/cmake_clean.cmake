@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trafficsim.dir/test_trafficsim.cpp.o"
+  "CMakeFiles/test_trafficsim.dir/test_trafficsim.cpp.o.d"
+  "test_trafficsim"
+  "test_trafficsim.pdb"
+  "test_trafficsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trafficsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

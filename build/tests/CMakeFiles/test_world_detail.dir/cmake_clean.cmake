@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_world_detail.dir/test_world_detail.cpp.o"
+  "CMakeFiles/test_world_detail.dir/test_world_detail.cpp.o.d"
+  "test_world_detail"
+  "test_world_detail.pdb"
+  "test_world_detail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_world_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

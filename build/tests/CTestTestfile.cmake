@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build/tests/test_cellular[1]_include.cmake")
+include("/root/repo/build/tests/test_citynet[1]_include.cmake")
+include("/root/repo/build/tests/test_trafficsim[1]_include.cmake")
+include("/root/repo/build/tests/test_sensing[1]_include.cmake")
+include("/root/repo/build/tests/test_matching[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_world_detail[1]_include.cmake")
+include("/root/repo/build/tests/test_audio_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_svg[1]_include.cmake")
