@@ -3,9 +3,15 @@
 // The paper argues the crowdsourcing design scales to wider monitoring
 // fields because the server does per-trip work against a per-city stop
 // database. This bench measures server throughput (trips/second) as the
-// city (and thus the database) grows, and per-stage costs.
+// city (and thus the database) grows, the effect of the inverted cell-ID
+// index on matcher throughput (A4c), and concurrent ingestion scaling over
+// 1/2/4/8 threads (A4b). Besides the human-readable tables it emits
+// BENCH_scalability.json so future PRs can track the perf trajectory.
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 #include "bench_common.h"
@@ -56,58 +62,198 @@ std::vector<SizedWorld>& worlds() {
   return w;
 }
 
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double percentile(std::vector<double> sorted_values, double p) {
+  if (sorted_values.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_values.size() - 1));
+  return sorted_values[idx];
+}
+
+/// Minimal machine-readable record of this run (schema documented by use in
+/// EXPERIMENTS.md / future regression tooling).
+struct JsonReport {
+  std::ostringstream body;
+  bool first = true;
+
+  void field(const std::string& raw) {
+    if (!first) body << ",\n";
+    first = false;
+    body << "  " << raw;
+  }
+  void write(const std::string& path) {
+    std::ofstream os(path);
+    os << "{\n" << body.str() << "\n}\n";
+  }
+};
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
 void report() {
+  JsonReport json;
+
   print_banner(std::cout, "Ablation A4: backend throughput vs city size");
   Table t({"city", "stops in DB", "trips", "trips/s (single thread)"});
   const std::vector<std::string> labels = {"quarter city / 2 routes",
                                            "full city / 4 routes",
                                            "full city / 8 routes"};
-  for (std::size_t i = 0; i < worlds().size(); ++i) {
-    SizedWorld& w = worlds()[i];
-    TrafficServer server(w.world->city(), w.database);
-    const auto start = std::chrono::steady_clock::now();
-    for (const AnnotatedTrip& trip : w.trips) server.process_trip(trip.upload);
-    const auto elapsed = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-    t.add_row({labels[i], std::to_string(w.database.size()),
-               std::to_string(w.trips.size()),
-               fmt(w.trips.size() / std::max(elapsed, 1e-9), 0)});
+  {
+    std::ostringstream rows;
+    for (std::size_t i = 0; i < worlds().size(); ++i) {
+      SizedWorld& w = worlds()[i];
+      TrafficServer server(w.world->city(), w.database);
+      const auto start = std::chrono::steady_clock::now();
+      for (const AnnotatedTrip& trip : w.trips) server.process_trip(trip.upload);
+      const double elapsed = seconds_since(start);
+      const double tps = w.trips.size() / std::max(elapsed, 1e-9);
+      t.add_row({labels[i], std::to_string(w.database.size()),
+                 std::to_string(w.trips.size()), fmt(tps, 0)});
+      if (i) rows << ", ";
+      rows << "{\"label\": \"" << labels[i]
+           << "\", \"stops\": " << w.database.size()
+           << ", \"trips\": " << w.trips.size()
+           << ", \"trips_per_s\": " << num(tps) << "}";
+    }
+    json.field("\"single_thread\": [" + rows.str() + "]");
   }
   t.print(std::cout);
   std::cout << "(a 2-month 22-participant deployment is ~100 trips/day — "
                "many orders of magnitude below single-core capacity)\n";
 
-  // Concurrent ingestion: the analysis stage is lock-free against immutable
-  // state; only the fusion fold takes a mutex.
-  print_banner(std::cout, "Ablation A4b: concurrent ingestion scaling");
-  SizedWorld& big = worlds()[2];
-  Table ct({"threads", "trips/s"});
-  for (const int threads : {1, 2, 4}) {
-    ConcurrentTrafficServer server(big.world->city(), big.database);
-    const auto start = std::chrono::steady_clock::now();
-    const int rounds = 4;  // replay the day several times for stable timing
-    std::vector<std::thread> pool;
-    for (int t_id = 0; t_id < threads; ++t_id) {
-      pool.emplace_back([&, t_id] {
-        for (int r = 0; r < rounds; ++r) {
-          for (std::size_t i = static_cast<std::size_t>(t_id);
-               i < big.trips.size(); i += static_cast<std::size_t>(threads)) {
-            server.process_trip(big.trips[i].upload);
-          }
-        }
-      });
+  // Indexed vs brute-force matching on the largest world: the inverted
+  // cell-ID index only aligns records sharing >= ceil(γ / match_score)
+  // cell IDs with the sample, so per-sample cost tracks the candidate
+  // count, not the database size.
+  print_banner(std::cout, "Ablation A4c: indexed vs brute-force matching");
+  {
+    SizedWorld& big = worlds()[2];
+    std::vector<Fingerprint> samples;
+    for (const AnnotatedTrip& trip : big.trips) {
+      for (const CellularSample& s : trip.upload.samples) {
+        if (!s.fingerprint.empty()) samples.push_back(s.fingerprint);
+      }
     }
-    for (std::thread& th : pool) th.join();
-    const double elapsed = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - start)
-                               .count();
-    ct.add_row({std::to_string(threads),
-                fmt(rounds * big.trips.size() / std::max(elapsed, 1e-9), 0)});
+    StopMatcherConfig brute_cfg;
+    brute_cfg.use_index = false;
+    const StopMatcher indexed(big.database);
+    const StopMatcher brute(big.database, brute_cfg);
+
+    // Work accounting (one instrumented pass, untimed).
+    double total_candidates = 0.0, total_aligned = 0.0;
+    for (const Fingerprint& fp : samples) {
+      MatchStats stats;
+      (void)indexed.match(fp, &stats);
+      total_candidates += static_cast<double>(stats.candidates);
+      total_aligned += static_cast<double>(stats.aligned);
+    }
+
+    const auto time_matcher = [&](const StopMatcher& matcher) {
+      const int rounds = 3;
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < rounds; ++r) {
+        for (const Fingerprint& fp : samples) {
+          benchmark::DoNotOptimize(matcher.match(fp));
+        }
+      }
+      return rounds * samples.size() / std::max(seconds_since(start), 1e-9);
+    };
+    const double brute_sps = time_matcher(brute);
+    const double indexed_sps = time_matcher(indexed);
+    const double speedup = indexed_sps / std::max(brute_sps, 1e-9);
+    const double cand_per_sample = total_candidates / samples.size();
+    const double aligned_per_sample = total_aligned / samples.size();
+
+    Table mt({"matcher", "samples/s", "candidates/sample", "DP runs/sample"});
+    mt.add_row({"brute-force scan", fmt(brute_sps, 0),
+                std::to_string(big.database.size()),
+                std::to_string(big.database.size())});
+    mt.add_row({"inverted index", fmt(indexed_sps, 0), fmt(cand_per_sample, 2),
+                fmt(aligned_per_sample, 2)});
+    mt.print(std::cout);
+    std::cout << "index speedup: " << fmt(speedup, 1) << "x over "
+              << big.database.size() << " stops, " << samples.size()
+              << " samples\n";
+    json.field("\"matcher\": {\"records\": " + std::to_string(big.database.size()) +
+               ", \"samples\": " + std::to_string(samples.size()) +
+               ", \"brute_samples_per_s\": " + num(brute_sps) +
+               ", \"indexed_samples_per_s\": " + num(indexed_sps) +
+               ", \"speedup\": " + num(speedup) +
+               ", \"candidates_per_sample\": " + num(cand_per_sample) +
+               ", \"aligned_per_sample\": " + num(aligned_per_sample) + "}");
   }
-  ct.print(std::cout);
-  std::cout << "(analysis is lock-free; scaling tracks the available cores — "
-               "on a single-core host the numbers stay flat)\n";
+
+  // Per-trip latency distribution (single thread, largest world).
+  {
+    SizedWorld& big = worlds()[2];
+    TrafficServer server(big.world->city(), big.database);
+    std::vector<double> us;
+    us.reserve(big.trips.size());
+    for (const AnnotatedTrip& trip : big.trips) {
+      const auto start = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(server.process_trip(trip.upload));
+      us.push_back(seconds_since(start) * 1e6);
+    }
+    std::sort(us.begin(), us.end());
+    const double p50 = percentile(us, 0.50);
+    const double p99 = percentile(us, 0.99);
+    std::cout << "per-trip latency (full city / 8 routes): p50 " << fmt(p50, 1)
+              << " us, p99 " << fmt(p99, 1) << " us\n";
+    json.field("\"per_trip_latency_us\": {\"p50\": " + num(p50) +
+               ", \"p99\": " + num(p99) + "}");
+  }
+
+  // Concurrent ingestion: analysis is lock-free against immutable state;
+  // estimates are batched per thread and folded into striped fusion locks.
+  print_banner(std::cout, "Ablation A4b: concurrent ingestion scaling");
+  {
+    SizedWorld& big = worlds()[2];
+    Table ct({"threads", "trips/s", "scaling"});
+    std::ostringstream rows;
+    double base_tps = 0.0;
+    bool first_row = true;
+    for (const int threads : {1, 2, 4, 8}) {
+      ConcurrentTrafficServer server(big.world->city(), big.database);
+      const auto start = std::chrono::steady_clock::now();
+      const int rounds = 4;  // replay the day several times for stable timing
+      std::vector<std::thread> pool;
+      for (int t_id = 0; t_id < threads; ++t_id) {
+        pool.emplace_back([&, t_id] {
+          for (int r = 0; r < rounds; ++r) {
+            for (std::size_t i = static_cast<std::size_t>(t_id);
+                 i < big.trips.size(); i += static_cast<std::size_t>(threads)) {
+              server.process_trip(big.trips[i].upload);
+            }
+          }
+        });
+      }
+      for (std::thread& th : pool) th.join();
+      const double elapsed = seconds_since(start);
+      const double tps = rounds * big.trips.size() / std::max(elapsed, 1e-9);
+      if (threads == 1) base_tps = tps;
+      ct.add_row({std::to_string(threads), fmt(tps, 0),
+                  fmt(tps / std::max(base_tps, 1e-9), 2) + "x"});
+      if (!first_row) rows << ", ";
+      first_row = false;
+      rows << "{\"threads\": " << threads << ", \"trips_per_s\": " << num(tps)
+           << ", \"scaling\": " << num(tps / std::max(base_tps, 1e-9)) << "}";
+    }
+    ct.print(std::cout);
+    std::cout << "(striped fusion locks + per-thread batching; scaling tracks "
+                 "the available cores — on a single-core host it stays flat)\n";
+    json.field("\"ingestion\": [" + rows.str() + "]");
+  }
+
+  json.write("BENCH_scalability.json");
+  std::cout << "wrote BENCH_scalability.json\n";
 }
 
 void BM_ServerProcessTrip(benchmark::State& state) {
@@ -122,6 +268,25 @@ void BM_ServerProcessTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerProcessTrip)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMicrosecond);
+
+void BM_MatcherIndexed(benchmark::State& state) {
+  SizedWorld& w = worlds()[2];
+  StopMatcherConfig cfg;
+  cfg.use_index = state.range(0) != 0;
+  const StopMatcher matcher(w.database, cfg);
+  std::vector<Fingerprint> samples;
+  for (const AnnotatedTrip& trip : w.trips) {
+    for (const CellularSample& s : trip.upload.samples) {
+      if (!s.fingerprint.empty()) samples.push_back(s.fingerprint);
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.match(samples[i % samples.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_MatcherIndexed)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 void BM_SurveyDatabaseBuild(benchmark::State& state) {
   const Testbed& bed = testbed();

@@ -1,39 +1,90 @@
 #include "core/concurrent_server.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
 namespace bussense {
 
-ConcurrentTrafficServer::ConcurrentTrafficServer(const City& city,
-                                                 StopDatabase database,
-                                                 ServerConfig config)
-    : inner_(city, std::move(database), config) {}
+namespace {
+
+// Server ids are handed out once and never reused, so a thread's cached
+// slot for a destroyed server is simply never looked up again.
+std::atomic<std::uint64_t> g_next_server_id{1};
+
+}  // namespace
+
+ConcurrentTrafficServer::ConcurrentTrafficServer(
+    const City& city, StopDatabase database, ServerConfig config,
+    ConcurrentServerConfig concurrency)
+    : inner_(city, std::move(database), config),
+      concurrency_{std::max<std::size_t>(1, concurrency.fusion_stripes),
+                   std::max<std::size_t>(1, concurrency.batch_flush_threshold)},
+      fusion_(config.fusion, concurrency_.fusion_stripes),
+      server_id_(g_next_server_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+ConcurrentTrafficServer::ThreadBatch& ConcurrentTrafficServer::local_batch() {
+  // Per-thread cache: server id → this thread's batch slot. The slots
+  // themselves are owned by the server (registry), so advance_time() can
+  // drain every thread's pending estimates.
+  thread_local std::unordered_map<std::uint64_t, ThreadBatch*> t_slots;
+  ThreadBatch*& slot = t_slots[server_id_];
+  if (slot == nullptr) {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    batches_.push_back(std::make_unique<ThreadBatch>());
+    slot = batches_.back().get();
+  }
+  return *slot;
+}
 
 TrafficServer::TripReport ConcurrentTrafficServer::process_trip(
     const TripUpload& trip) {
   // Lock-free analysis against immutable state...
   TrafficServer::TripReport report = inner_.analyze_trip(trip);
-  // ...then a short critical section to fold the results in.
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    inner_.ingest(report.estimates);
-    ++trips_processed_;
+  // ...then buffer the estimates thread-locally; the striped fusion is only
+  // touched when a whole batch is ready.
+  if (!report.estimates.empty()) {
+    ThreadBatch& batch = local_batch();
+    std::vector<SpeedEstimate> ready;
+    {
+      const std::lock_guard<std::mutex> lock(batch.mutex);
+      batch.pending.insert(batch.pending.end(), report.estimates.begin(),
+                           report.estimates.end());
+      if (batch.pending.size() >= concurrency_.batch_flush_threshold) {
+        ready.swap(batch.pending);
+      }
+    }
+    if (!ready.empty()) fusion_.add_batch(ready);
   }
+  trips_processed_.fetch_add(1, std::memory_order_relaxed);
   return report;
 }
 
+void ConcurrentTrafficServer::flush_batches() {
+  std::vector<SpeedEstimate> drained;
+  {
+    const std::lock_guard<std::mutex> registry(registry_mutex_);
+    for (const auto& batch : batches_) {
+      const std::lock_guard<std::mutex> lock(batch->mutex);
+      drained.insert(drained.end(), batch->pending.begin(),
+                     batch->pending.end());
+      batch->pending.clear();
+    }
+  }
+  if (!drained.empty()) fusion_.add_batch(drained);
+}
+
 void ConcurrentTrafficServer::advance_time(SimTime now) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  inner_.advance_time(now);
+  flush_batches();
+  fusion_.flush_until(now);
 }
 
 TrafficMap ConcurrentTrafficServer::snapshot(SimTime now,
                                              double max_age_s) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return inner_.snapshot(now, max_age_s);
-}
-
-std::uint64_t ConcurrentTrafficServer::trips_processed() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return trips_processed_;
+  // Pending batches only hold estimates whose period has not been closed
+  // yet; they would not appear in the snapshot even if folded, so no drain
+  // is needed here.
+  return TrafficMap::snapshot(fusion_, inner_.catalog(), now, max_age_s);
 }
 
 }  // namespace bussense

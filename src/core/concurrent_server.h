@@ -5,42 +5,82 @@
 // heavy per-trip work — fingerprint matching, clustering, ML mapping,
 // travel-time extraction — is a pure function of immutable state (the stop
 // database, route graph and segment catalog), so worker threads run it
-// without synchronisation; only folding estimates into the shared fusion
-// state takes a lock. Because the fusion batches observations per 5-minute
-// period with an order-insensitive sum, concurrent ingestion is
-// *deterministic*: any arrival order yields the same fused map.
+// without synchronisation. The mutable half is contention-free too:
+//
+//   * each worker thread buffers its speed estimates in a private batch
+//     and folds them into the shared fusion only when the batch reaches
+//     `batch_flush_threshold` (or when advance_time() drains all batches);
+//   * the shared fusion is striped — segments are hashed across
+//     independently locked SpeedFusion shards — so even simultaneous folds
+//     rarely touch the same lock.
+//
+// Determinism is preserved end to end: SpeedFusion batches observations
+// per 5-minute period and sums each period's estimates in sorted order, so
+// the fused map depends only on the multiset of ingested estimates — any
+// thread count, interleaving or batching yields bit-identical results,
+// provided advance_time(now) is only called once every estimate older than
+// `now`'s period has been ingested (the same contract a single-threaded
+// deployment has).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/server.h"
 
 namespace bussense {
 
+struct ConcurrentServerConfig {
+  std::size_t fusion_stripes = 16;         ///< independently locked shards
+  std::size_t batch_flush_threshold = 32;  ///< estimates buffered per thread
+};
+
 class ConcurrentTrafficServer {
  public:
   ConcurrentTrafficServer(const City& city, StopDatabase database,
-                          ServerConfig config = {});
+                          ServerConfig config = {},
+                          ConcurrentServerConfig concurrency = {});
 
   /// Full pipeline for one trip; safe to call from any thread.
   TrafficServer::TripReport process_trip(const TripUpload& trip);
 
-  /// Closes fusion batches up to `now` (thread-safe).
+  /// Drains every thread's pending batch, then closes fusion periods up to
+  /// `now` (thread-safe).
   void advance_time(SimTime now);
 
-  /// Snapshot of the shared map (thread-safe).
+  /// Snapshot of the shared map (thread-safe). Reflects estimates whose
+  /// period a previous advance_time() closed, exactly as the serial server.
   TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const;
 
   const SegmentCatalog& catalog() const { return inner_.catalog(); }
-  const SpeedFusion& fusion_unsafe() const { return inner_.fusion(); }
-  std::uint64_t trips_processed() const;
+  /// The shared fusion state (striped, safe to query concurrently).
+  const StripedSpeedFusion& fusion() const { return fusion_; }
+  std::uint64_t trips_processed() const {
+    return trips_processed_.load(std::memory_order_relaxed);
+  }
 
  private:
-  // TrafficServer's stateless stages are reused; its fusion state is only
-  // touched under the mutex.
+  struct ThreadBatch {
+    std::mutex mutex;  ///< guards pending against concurrent drains
+    std::vector<SpeedEstimate> pending;
+  };
+
+  ThreadBatch& local_batch();
+  void flush_batches();
+
+  // TrafficServer's stateless analysis stages are reused; its own fusion
+  // state stays empty — all folds go through the striped fusion below.
   TrafficServer inner_;
-  mutable std::mutex mutex_;
-  std::uint64_t trips_processed_ = 0;
+  ConcurrentServerConfig concurrency_;
+  StripedSpeedFusion fusion_;
+  std::atomic<std::uint64_t> trips_processed_{0};
+
+  const std::uint64_t server_id_;  ///< key for thread-local batch lookup
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBatch>> batches_;
 };
 
 }  // namespace bussense

@@ -1,5 +1,6 @@
 #include "core/fusion.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace bussense {
@@ -10,9 +11,7 @@ void SpeedFusion::add(const SpeedEstimate& estimate) {
   State& state = states_[estimate.segment];
   const auto period =
       static_cast<std::int64_t>(std::floor(estimate.time / config_.update_period_s));
-  auto& [sum, count] = state.pending[period];
-  sum += estimate.att_speed_kmh;
-  ++count;
+  state.pending[period].push_back(estimate.att_speed_kmh);
 }
 
 void SpeedFusion::apply(State& state, double mean_obs, SimTime at, int count) {
@@ -40,7 +39,13 @@ void SpeedFusion::flush_until(SimTime now) {
       const auto it = state.pending.begin();
       // A batch closes when its period has fully elapsed.
       if (it->first >= now_period) break;
-      const auto [sum, count] = it->second;
+      std::vector<double>& values = it->second;
+      // Sum in sorted order: the period mean then depends only on the
+      // multiset of estimates, never on their arrival order.
+      std::sort(values.begin(), values.end());
+      double sum = 0.0;
+      for (const double v : values) sum += v;
+      const int count = static_cast<int>(values.size());
       const SimTime close_time =
           (static_cast<double>(it->first) + 1.0) * config_.update_period_s;
       apply(state, sum / count, close_time, count);
@@ -60,6 +65,66 @@ std::vector<std::pair<SegmentKey, FusedSpeed>> SpeedFusion::all() const {
   out.reserve(states_.size());
   for (const auto& [key, state] : states_) {
     if (state.fused) out.emplace_back(key, *state.fused);
+  }
+  return out;
+}
+
+// ----------------------------------------------------- StripedSpeedFusion
+
+StripedSpeedFusion::StripedSpeedFusion(FusionConfig config,
+                                       std::size_t stripe_count)
+    : config_(config) {
+  stripes_.reserve(std::max<std::size_t>(1, stripe_count));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, stripe_count); ++i) {
+    stripes_.push_back(std::make_unique<Stripe>(config_));
+  }
+}
+
+void StripedSpeedFusion::add(const SpeedEstimate& estimate) {
+  Stripe& stripe = *stripes_[stripe_of(estimate.segment)];
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.fusion.add(estimate);
+}
+
+void StripedSpeedFusion::add_batch(const std::vector<SpeedEstimate>& estimates) {
+  if (estimates.empty()) return;
+  // One pass per stripe keeps each lock acquired at most once; batches are
+  // small (tens of estimates), so the extra scans are cheaper than the
+  // lock traffic they avoid.
+  for (std::size_t s = 0; s < stripes_.size(); ++s) {
+    bool locked = false;
+    std::unique_lock<std::mutex> lock(stripes_[s]->mutex, std::defer_lock);
+    for (const SpeedEstimate& e : estimates) {
+      if (stripe_of(e.segment) != s) continue;
+      if (!locked) {
+        lock.lock();
+        locked = true;
+      }
+      stripes_[s]->fusion.add(e);
+    }
+  }
+}
+
+void StripedSpeedFusion::flush_until(SimTime now) {
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe->mutex);
+    stripe->fusion.flush_until(now);
+  }
+}
+
+std::optional<FusedSpeed> StripedSpeedFusion::query(
+    const SegmentKey& segment) const {
+  const Stripe& stripe = *stripes_[stripe_of(segment)];
+  const std::lock_guard<std::mutex> lock(stripe.mutex);
+  return stripe.fusion.query(segment);
+}
+
+std::vector<std::pair<SegmentKey, FusedSpeed>> StripedSpeedFusion::all() const {
+  std::vector<std::pair<SegmentKey, FusedSpeed>> out;
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe->mutex);
+    auto part = stripe->fusion.all();
+    out.insert(out.end(), part.begin(), part.end());
   }
   return out;
 }

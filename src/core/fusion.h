@@ -14,6 +14,8 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +49,11 @@ class SpeedFusion {
   explicit SpeedFusion(FusionConfig config = {});
 
   /// Feeds one raw estimate; batched until its period closes.
+  ///
+  /// Determinism: a period's estimates are summed in *sorted* order when
+  /// the batch closes, so the fused result depends only on the multiset of
+  /// estimates per period — any arrival order (e.g. from concurrent
+  /// ingestion workers) yields bit-identical doubles.
   void add(const SpeedEstimate& estimate);
 
   /// Closes every batch whose period ends at or before `now`, applying the
@@ -64,14 +71,57 @@ class SpeedFusion {
  private:
   struct State {
     std::optional<FusedSpeed> fused;
-    // Open batches by period index.
-    std::map<std::int64_t, std::pair<double, int>> pending;  ///< sum, count
+    // Open batches by period index; raw values kept (not a running sum) so
+    // the close-time summation can be order-insensitive.
+    std::map<std::int64_t, std::vector<double>> pending;
   };
 
   void apply(State& state, double mean_obs, SimTime at, int count);
 
   FusionConfig config_;
   std::unordered_map<SegmentKey, State, SegmentKeyHash> states_;
+};
+
+/// Sharded, internally locked fusion for concurrent ingestion.
+///
+/// Segments are partitioned by hash across `stripe_count` independent
+/// SpeedFusion shards, each behind its own mutex: a segment's entire
+/// history lives in exactly one shard, so the per-segment arithmetic — and
+/// with it SpeedFusion's order-insensitive determinism — is untouched,
+/// while writers on different stripes never contend.
+class StripedSpeedFusion {
+ public:
+  explicit StripedSpeedFusion(FusionConfig config = {},
+                              std::size_t stripe_count = 16);
+
+  /// Thread-safe; locks the owning stripe only.
+  void add(const SpeedEstimate& estimate);
+
+  /// Folds a batch, taking each stripe lock at most once.
+  void add_batch(const std::vector<SpeedEstimate>& estimates);
+
+  /// Closes batches on every stripe (thread-safe).
+  void flush_until(SimTime now);
+
+  std::optional<FusedSpeed> query(const SegmentKey& segment) const;
+  std::vector<std::pair<SegmentKey, FusedSpeed>> all() const;
+
+  const FusionConfig& config() const { return config_; }
+  std::size_t stripe_count() const { return stripes_.size(); }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    SpeedFusion fusion;
+    explicit Stripe(const FusionConfig& config) : fusion(config) {}
+  };
+
+  std::size_t stripe_of(const SegmentKey& key) const {
+    return SegmentKeyHash{}(key) % stripes_.size();
+  }
+
+  FusionConfig config_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 }  // namespace bussense

@@ -1,81 +1,122 @@
 #include "core/matching.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 namespace bussense {
 
 namespace {
 
-/// Fills the DP matrix; returns the best cell value and its position.
-/// H is (n+1) x (m+1), row-major, H[0][*] = H[*][0] = 0.
-struct DpResult {
-  std::vector<double> h;
-  std::size_t rows = 0, cols = 0;
-  double best = 0.0;
-  std::size_t best_i = 0, best_j = 0;
-};
+// Scratch buffers reused across calls. The hot path — StopMatcher scoring a
+// sample against many candidate records — used to heap-allocate a fresh DP
+// matrix per pair; for ≤7-cell fingerprints that allocation dominated the
+// arithmetic. thread_local (not static) because the concurrent server calls
+// similarity() from many ingestion workers at once.
+thread_local std::vector<double> t_rows;          ///< 2 rolling rows
+thread_local std::vector<double> t_matrix;        ///< full H (align only)
+thread_local std::vector<std::uint8_t> t_dir;     ///< per-cell direction
 
-DpResult run_dp(const Fingerprint& a, const Fingerprint& b,
-                const MatchingConfig& config) {
-  DpResult r;
-  r.rows = a.cells.size() + 1;
-  r.cols = b.cells.size() + 1;
-  r.h.assign(r.rows * r.cols, 0.0);
-  auto H = [&](std::size_t i, std::size_t j) -> double& {
-    return r.h[i * r.cols + j];
-  };
-  for (std::size_t i = 1; i < r.rows; ++i) {
-    for (std::size_t j = 1; j < r.cols; ++j) {
-      const bool eq = a.cells[i - 1] == b.cells[j - 1];
-      const double diag =
-          H(i - 1, j - 1) + (eq ? config.match_score : -config.mismatch_penalty);
-      const double up = H(i - 1, j) - config.gap_penalty;
-      const double left = H(i, j - 1) - config.gap_penalty;
-      const double v = std::max({0.0, diag, up, left});
-      H(i, j) = v;
-      if (v > r.best) {
-        r.best = v;
-        r.best_i = i;
-        r.best_j = j;
-      }
-    }
-  }
-  return r;
-}
+// Traceback directions recorded while filling the matrix. Storing the
+// argmax as a byte (instead of re-deriving it from float equality on
+// accumulated doubles at traceback time) keeps match/mismatch/gap counts
+// exact regardless of how the scores were rounded.
+enum Dir : std::uint8_t { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
 
 }  // namespace
 
 double similarity(const Fingerprint& upload, const Fingerprint& database,
                   const MatchingConfig& config) {
   if (upload.empty() || database.empty()) return 0.0;
-  return run_dp(upload, database, config).best;
+  const std::size_t n = upload.cells.size();
+  const std::size_t m = database.cells.size();
+  // Two-row rolling DP: only the previous row is needed for the recurrence,
+  // and nothing is read back after the sweep, so the full (n+1)x(m+1)
+  // matrix never materialises and warm calls allocate nothing.
+  if (t_rows.size() < 2 * (m + 1)) t_rows.resize(2 * (m + 1));
+  double* prev = t_rows.data();
+  double* cur = prev + (m + 1);
+  std::fill(prev, prev + m + 1, 0.0);
+  cur[0] = 0.0;  // column 0 stays 0 in both rows for the whole sweep
+  double best = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const CellId ai = upload.cells[i - 1];
+    for (std::size_t j = 1; j <= m; ++j) {
+      const bool eq = ai == database.cells[j - 1];
+      const double diag =
+          prev[j - 1] + (eq ? config.match_score : -config.mismatch_penalty);
+      const double up = prev[j] - config.gap_penalty;
+      const double left = cur[j - 1] - config.gap_penalty;
+      const double v = std::max({0.0, diag, up, left});
+      cur[j] = v;
+      if (v > best) best = v;
+    }
+    std::swap(prev, cur);
+  }
+  return best;
 }
 
 Alignment align(const Fingerprint& upload, const Fingerprint& database,
                 const MatchingConfig& config) {
   Alignment out;
   if (upload.empty() || database.empty()) return out;
-  const DpResult r = run_dp(upload, database, config);
-  out.score = r.best;
-  // Traceback from the best cell to the first zero cell.
-  auto H = [&](std::size_t i, std::size_t j) {
-    return r.h[i * r.cols + j];
+  const std::size_t rows = upload.cells.size() + 1;
+  const std::size_t cols = database.cells.size() + 1;
+  t_matrix.assign(rows * cols, 0.0);
+  t_dir.assign(rows * cols, kStop);
+  auto H = [&](std::size_t i, std::size_t j) -> double& {
+    return t_matrix[i * cols + j];
   };
-  std::size_t i = r.best_i, j = r.best_j;
-  while (i > 0 && j > 0 && H(i, j) > 0.0) {
-    const bool eq = upload.cells[i - 1] == database.cells[j - 1];
-    const double diag =
-        H(i - 1, j - 1) + (eq ? config.match_score : -config.mismatch_penalty);
-    if (H(i, j) == diag) {
-      eq ? ++out.matches : ++out.mismatches;
-      --i;
-      --j;
-    } else if (H(i, j) == H(i - 1, j) - config.gap_penalty) {
-      ++out.gaps;
-      --i;
-    } else {
-      ++out.gaps;
-      --j;
+  auto D = [&](std::size_t i, std::size_t j) -> std::uint8_t& {
+    return t_dir[i * cols + j];
+  };
+  double best = 0.0;
+  std::size_t best_i = 0, best_j = 0;
+  for (std::size_t i = 1; i < rows; ++i) {
+    for (std::size_t j = 1; j < cols; ++j) {
+      const bool eq = upload.cells[i - 1] == database.cells[j - 1];
+      const double diag =
+          H(i - 1, j - 1) + (eq ? config.match_score : -config.mismatch_penalty);
+      const double up = H(i - 1, j) - config.gap_penalty;
+      const double left = H(i, j - 1) - config.gap_penalty;
+      const double v = std::max({0.0, diag, up, left});
+      H(i, j) = v;
+      // Comparing v against the operands it was just maximised over is
+      // exact; tie order (diag, up, left) fixes the reported alignment.
+      if (v <= 0.0) {
+        D(i, j) = kStop;
+      } else if (v == diag) {
+        D(i, j) = kDiag;
+      } else if (v == up) {
+        D(i, j) = kUp;
+      } else {
+        D(i, j) = kLeft;
+      }
+      if (v > best) {
+        best = v;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  out.score = best;
+  std::size_t i = best_i, j = best_j;
+  while (i > 0 && j > 0 && D(i, j) != kStop) {
+    switch (D(i, j)) {
+      case kDiag:
+        (upload.cells[i - 1] == database.cells[j - 1]) ? ++out.matches
+                                                       : ++out.mismatches;
+        --i;
+        --j;
+        break;
+      case kUp:
+        ++out.gaps;
+        --i;
+        break;
+      default:  // kLeft
+        ++out.gaps;
+        --j;
+        break;
     }
   }
   return out;

@@ -20,7 +20,9 @@ struct MatchingConfig {
   double gap_penalty = 0.3;       ///< subtracted per skipped element
 };
 
-/// Similarity score of the optimal local alignment (>= 0).
+/// Similarity score of the optimal local alignment (>= 0). Allocation-free
+/// on warm calls: runs a two-row rolling DP over a thread-local scratch
+/// buffer (safe to call concurrently from ingestion workers).
 double similarity(const Fingerprint& upload, const Fingerprint& database,
                   const MatchingConfig& config = {});
 

@@ -1,16 +1,48 @@
 #include "core/stop_database.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace bussense {
 
 void StopDatabase::add(StopId effective_stop, Fingerprint fingerprint) {
   if (const auto it = index_.find(effective_stop); it != index_.end()) {
+    const auto rec = static_cast<std::uint32_t>(it->second);
+    unindex_cells(rec);
     records_[it->second].fingerprint = std::move(fingerprint);
+    index_cells(rec);
     return;
   }
   index_.emplace(effective_stop, records_.size());
   records_.push_back(StopRecord{effective_stop, std::move(fingerprint)});
+  index_cells(static_cast<std::uint32_t>(records_.size() - 1));
+}
+
+void StopDatabase::index_cells(std::uint32_t record) {
+  for (const CellId cell : records_[record].fingerprint.cells) {
+    std::vector<std::uint32_t>& list = postings_[cell];
+    // Keep lists ascending so candidate generation visits records in
+    // database order (which fixes tie-breaking identically to the scan).
+    list.insert(std::upper_bound(list.begin(), list.end(), record), record);
+  }
+}
+
+void StopDatabase::unindex_cells(std::uint32_t record) {
+  for (const CellId cell : records_[record].fingerprint.cells) {
+    const auto it = postings_.find(cell);
+    if (it == postings_.end()) continue;
+    std::vector<std::uint32_t>& list = it->second;
+    // Erase one occurrence (duplicated cells post one entry each).
+    const auto pos = std::find(list.begin(), list.end(), record);
+    if (pos != list.end()) list.erase(pos);
+    if (list.empty()) postings_.erase(it);
+  }
+}
+
+const std::vector<std::uint32_t>* StopDatabase::postings(CellId cell) const {
+  const auto it = postings_.find(cell);
+  if (it == postings_.end()) return nullptr;
+  return &it->second;
 }
 
 const Fingerprint* StopDatabase::fingerprint_of(StopId effective_stop) const {

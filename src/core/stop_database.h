@@ -9,6 +9,7 @@
 // chosen as the fingerprint".
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -35,9 +36,19 @@ class StopDatabase {
 
   const Fingerprint* fingerprint_of(StopId effective_stop) const;
 
+  /// Inverted cell-ID index: indices into records() whose fingerprint
+  /// contains `cell`, ascending, one entry per occurrence. nullptr when no
+  /// record carries the cell. StopMatcher intersects these posting lists to
+  /// generate match candidates instead of scanning the whole database.
+  const std::vector<std::uint32_t>* postings(CellId cell) const;
+
  private:
+  void index_cells(std::uint32_t record);
+  void unindex_cells(std::uint32_t record);
+
   std::vector<StopRecord> records_;
   std::unordered_map<StopId, std::size_t> index_;
+  std::unordered_map<CellId, std::vector<std::uint32_t>> postings_;
 };
 
 /// Medoid selection: the sample with the highest summed similarity to the

@@ -1,33 +1,119 @@
 #include "core/stop_matcher.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace bussense {
+
+namespace {
+
+// Candidate-generation scratch: shared-cell occurrence counts per record
+// plus the list of records touched (so resets cost O(touched), not O(db)).
+// thread_local because the concurrent server matches from many workers.
+struct CandidateScratch {
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint32_t> touched;
+};
+thread_local CandidateScratch t_scratch;
+
+}  // namespace
 
 StopMatcher::StopMatcher(const StopDatabase& database, StopMatcherConfig config)
     : database_(&database), config_(config) {}
 
-std::optional<MatchResult> StopMatcher::match(const Fingerprint& sample) const {
+bool StopMatcher::index_usable() const {
+  // The pruning bound score <= match_score · shared_cells needs a positive
+  // match reward, non-negative penalties and a positive threshold; exotic
+  // configurations keep the exhaustive scan.
+  return config_.use_index && config_.matching.match_score > 0.0 &&
+         config_.matching.mismatch_penalty >= 0.0 &&
+         config_.matching.gap_penalty >= 0.0 && config_.accept_threshold > 0.0;
+}
+
+const std::vector<std::uint32_t>& StopMatcher::gather_candidates(
+    const Fingerprint& sample) const {
+  CandidateScratch& s = t_scratch;
+  if (s.counts.size() < database_->size()) s.counts.resize(database_->size(), 0);
+  for (const std::uint32_t rec : s.touched) s.counts[rec] = 0;
+  s.touched.clear();
+  for (const CellId cell : sample.cells) {
+    const std::vector<std::uint32_t>* list = database_->postings(cell);
+    if (!list) continue;
+    for (const std::uint32_t rec : *list) {
+      if (s.counts[rec]++ == 0) s.touched.push_back(rec);
+    }
+  }
+  // Database order, so equal (score, common) ties resolve exactly as the
+  // brute-force scan does (first record wins).
+  std::sort(s.touched.begin(), s.touched.end());
+  return s.touched;
+}
+
+std::optional<MatchResult> StopMatcher::match(const Fingerprint& sample,
+                                              MatchStats* stats) const {
+  if (stats) *stats = MatchStats{database_->size(), 0, 0};
   std::optional<MatchResult> best;
-  for (const StopRecord& record : database_->records()) {
+  const auto consider = [&](const StopRecord& record) {
+    if (stats) ++stats->aligned;
     const double score = similarity(sample, record.fingerprint, config_.matching);
-    if (score < config_.accept_threshold) continue;
+    if (score < config_.accept_threshold) return;
     const int common = common_cell_count(sample, record.fingerprint);
     const bool better =
         !best || score > best->score ||
         (score == best->score && common > best->common_cells);
     if (better) best = MatchResult{record.stop, score, common};
+  };
+
+  if (!index_usable()) {
+    if (stats) stats->candidates = database_->size();
+    for (const StopRecord& record : database_->records()) consider(record);
+    return best;
+  }
+
+  const double ms = config_.matching.match_score;
+  for (const std::uint32_t rec : gather_candidates(sample)) {
+    const StopRecord& record = database_->records()[rec];
+    // Upper bound: at most one match per shared cell occurrence, and no
+    // more matches than the shorter fingerprint has cells.
+    const double bound = std::min(ms * t_scratch.counts[rec],
+                                  max_similarity(sample, record.fingerprint,
+                                                 config_.matching));
+    if (bound < config_.accept_threshold) continue;  // cannot reach γ
+    if (stats) ++stats->candidates;
+    // A candidate strictly below the incumbent score can neither win nor
+    // tie (tie-breaks only apply at equal scores), so skip its DP.
+    if (best && bound < best->score) continue;
+    consider(record);
   }
   return best;
 }
 
-std::vector<MatchResult> StopMatcher::match_all(const Fingerprint& sample) const {
+std::vector<MatchResult> StopMatcher::match_all(const Fingerprint& sample,
+                                                MatchStats* stats) const {
+  if (stats) *stats = MatchStats{database_->size(), 0, 0};
   std::vector<MatchResult> out;
-  for (const StopRecord& record : database_->records()) {
+  const auto consider = [&](const StopRecord& record) {
+    if (stats) ++stats->aligned;
     const double score = similarity(sample, record.fingerprint, config_.matching);
     if (score >= config_.accept_threshold) {
       out.push_back(MatchResult{record.stop, score,
                                 common_cell_count(sample, record.fingerprint)});
+    }
+  };
+
+  if (!index_usable()) {
+    if (stats) stats->candidates = database_->size();
+    for (const StopRecord& record : database_->records()) consider(record);
+  } else {
+    const double ms = config_.matching.match_score;
+    for (const std::uint32_t rec : gather_candidates(sample)) {
+      const StopRecord& record = database_->records()[rec];
+      const double bound = std::min(ms * t_scratch.counts[rec],
+                                    max_similarity(sample, record.fingerprint,
+                                                   config_.matching));
+      if (bound < config_.accept_threshold) continue;
+      if (stats) ++stats->candidates;
+      consider(record);
     }
   }
   std::sort(out.begin(), out.end(), [](const MatchResult& a, const MatchResult& b) {

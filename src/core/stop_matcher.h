@@ -1,10 +1,18 @@
 // Per-sample matching against the stop database (paper Section III-C.1).
 //
-// Each uploaded cellular sample is scored against every database
-// fingerprint with the modified Smith–Waterman similarity; the best-scoring
-// stop wins, ties broken by the larger number of common cell IDs. Samples
-// whose best score falls below the acceptance threshold γ (= 2, from the
-// Figure 2 measurement) are discarded as noise.
+// Each uploaded cellular sample is scored with the modified Smith–Waterman
+// similarity; the best-scoring stop wins, ties broken by the larger number
+// of common cell IDs. Samples whose best score falls below the acceptance
+// threshold γ (= 2, from the Figure 2 measurement) are discarded as noise.
+//
+// Candidate generation is sublinear in the database size: because an
+// alignment can score at most match_score per shared cell ID, a record can
+// only reach γ if it shares ≥ ⌈γ / match_score⌉ cell IDs with the sample
+// (= 2 in the paper's setting). The matcher intersects the database's
+// inverted cell-ID posting lists to count shared cells per record, then
+// aligns only the records passing that bound — with results identical to
+// the full scan. `use_index = false` keeps the brute-force scan for the
+// scalability ablations.
 #pragma once
 
 #include <optional>
@@ -18,6 +26,10 @@ namespace bussense {
 struct StopMatcherConfig {
   MatchingConfig matching;
   double accept_threshold = 2.0;  ///< γ
+  /// Generate candidates from the inverted cell-ID index. Falls back to the
+  /// full scan automatically when the γ-derived bound is unsound (negative
+  /// penalties, non-positive match score or threshold).
+  bool use_index = true;
 };
 
 struct MatchResult {
@@ -26,19 +38,34 @@ struct MatchResult {
   int common_cells = 0;
 };
 
+/// Per-call work counters (benches report candidates/sample).
+struct MatchStats {
+  std::size_t records = 0;     ///< database size
+  std::size_t candidates = 0;  ///< records surviving the γ pruning bound
+  std::size_t aligned = 0;     ///< records actually run through the DP
+};
+
 class StopMatcher {
  public:
   StopMatcher(const StopDatabase& database, StopMatcherConfig config = {});
 
   /// Best acceptable match, or nullopt if the best score is below γ.
-  std::optional<MatchResult> match(const Fingerprint& sample) const;
+  std::optional<MatchResult> match(const Fingerprint& sample,
+                                   MatchStats* stats = nullptr) const;
 
   /// Every stop scoring >= γ, best first (diagnostics / ablations).
-  std::vector<MatchResult> match_all(const Fingerprint& sample) const;
+  std::vector<MatchResult> match_all(const Fingerprint& sample,
+                                     MatchStats* stats = nullptr) const;
 
   const StopMatcherConfig& config() const { return config_; }
 
  private:
+  bool index_usable() const;
+  /// Fills the thread-local scratch with (record, shared-cell count) pairs,
+  /// records ascending; returns the list of touched records.
+  const std::vector<std::uint32_t>& gather_candidates(
+      const Fingerprint& sample) const;
+
   const StopDatabase* database_;
   StopMatcherConfig config_;
 };

@@ -24,12 +24,12 @@ std::string to_string(SpeedLevel level) {
   return "?";
 }
 
-TrafficMap TrafficMap::snapshot(const SpeedFusion& fusion,
-                                const SegmentCatalog& catalog, SimTime now,
-                                double max_age_s) {
+TrafficMap TrafficMap::from_fused(
+    const std::vector<std::pair<SegmentKey, FusedSpeed>>& fused_estimates,
+    const SegmentCatalog& catalog, SimTime now, double max_age_s) {
   TrafficMap map;
   map.time_ = now;
-  for (const auto& [key, fused] : fusion.all()) {
+  for (const auto& [key, fused] : fused_estimates) {
     if (now - fused.updated_at > max_age_s) continue;
     MapSegment seg;
     seg.key = key;
@@ -42,6 +42,18 @@ TrafficMap TrafficMap::snapshot(const SpeedFusion& fusion,
     map.segment_lengths_.push_back(info ? info->length_m : 0.0);
   }
   return map;
+}
+
+TrafficMap TrafficMap::snapshot(const SpeedFusion& fusion,
+                                const SegmentCatalog& catalog, SimTime now,
+                                double max_age_s) {
+  return from_fused(fusion.all(), catalog, now, max_age_s);
+}
+
+TrafficMap TrafficMap::snapshot(const StripedSpeedFusion& fusion,
+                                const SegmentCatalog& catalog, SimTime now,
+                                double max_age_s) {
+  return from_fused(fusion.all(), catalog, now, max_age_s);
 }
 
 std::map<SpeedLevel, int> TrafficMap::level_histogram() const {

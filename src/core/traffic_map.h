@@ -36,6 +36,9 @@ class TrafficMap {
   static TrafficMap snapshot(const SpeedFusion& fusion,
                              const SegmentCatalog& catalog, SimTime now,
                              double max_age_s = 3600.0);
+  static TrafficMap snapshot(const StripedSpeedFusion& fusion,
+                             const SegmentCatalog& catalog, SimTime now,
+                             double max_age_s = 3600.0);
 
   const std::vector<MapSegment>& segments() const { return segments_; }
   SimTime time() const { return time_; }
@@ -55,6 +58,10 @@ class TrafficMap {
                            int rows) const;
 
  private:
+  static TrafficMap from_fused(
+      const std::vector<std::pair<SegmentKey, FusedSpeed>>& fused,
+      const SegmentCatalog& catalog, SimTime now, double max_age_s);
+
   SimTime time_ = 0.0;
   std::vector<MapSegment> segments_;
   std::vector<double> segment_lengths_;

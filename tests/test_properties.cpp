@@ -121,6 +121,131 @@ TEST_P(MatchingProperties, TriangleOfBasicInvariants) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperties,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// --------------------------------------------- indexed matcher equivalence
+
+// The inverted-index candidate generation must be a pure optimisation:
+// match() and match_all() results — stop, score, common-cell tie-break,
+// below-γ rejections — are identical to the brute-force database scan for
+// any database size and fingerprint content (including duplicate cell IDs,
+// which make the shared-cell pruning bound conservative but still sound).
+class IndexedMatcherEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexedMatcherEquivalence, MatchAndMatchAllIdenticalToBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n_records = rng.uniform_int(1, 60);
+    // Small pools force collisions/duplicates; large pools force rejections.
+    const int pool = rng.uniform_int(4, 10 + 4 * n_records);
+    StopDatabase db;
+    for (int r = 0; r < n_records; ++r) {
+      Fingerprint fp;
+      const int len = rng.uniform_int(1, 7);
+      for (int k = 0; k < len; ++k) fp.cells.push_back(rng.uniform_int(1, pool));
+      db.add(static_cast<StopId>(r + 1), std::move(fp));
+    }
+    StopMatcherConfig brute_cfg;
+    brute_cfg.use_index = false;
+    const StopMatcher indexed(db);  // use_index defaults to true
+    const StopMatcher brute(db, brute_cfg);
+    for (int q = 0; q < 40; ++q) {
+      Fingerprint sample;
+      const int len = rng.uniform_int(0, 7);
+      for (int k = 0; k < len; ++k)
+        sample.cells.push_back(rng.uniform_int(1, pool));
+      MatchStats stats;
+      const auto a = indexed.match(sample, &stats);
+      const auto b = brute.match(sample);
+      ASSERT_EQ(a.has_value(), b.has_value()) << to_string(sample);
+      if (a) {
+        EXPECT_EQ(a->stop, b->stop);
+        EXPECT_EQ(a->score, b->score);  // same DP kernel → bit-identical
+        EXPECT_EQ(a->common_cells, b->common_cells);
+      }
+      EXPECT_LE(stats.aligned, stats.candidates);
+      EXPECT_LE(stats.candidates, stats.records);
+      const auto all_a = indexed.match_all(sample);
+      const auto all_b = brute.match_all(sample);
+      ASSERT_EQ(all_a.size(), all_b.size());
+      for (std::size_t i = 0; i < all_a.size(); ++i) {
+        EXPECT_EQ(all_a[i].stop, all_b[i].stop);
+        EXPECT_EQ(all_a[i].score, all_b[i].score);
+        EXPECT_EQ(all_a[i].common_cells, all_b[i].common_cells);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedMatcherEquivalence,
+                         ::testing::Values(11, 12, 13));
+
+TEST(IndexedMatcher, ReplacedFingerprintIsReindexed) {
+  StopDatabase db;
+  db.add(1, Fingerprint{{1, 2, 3}});
+  db.add(2, Fingerprint{{4, 5, 6}});
+  db.add(1, Fingerprint{{7, 8, 9}});  // replaces stop 1's fingerprint
+  const StopMatcher matcher(db);
+  // Old posting entries must be gone: {1,2,3} now matches nothing.
+  EXPECT_FALSE(matcher.match(Fingerprint{{1, 2, 3}}).has_value());
+  const auto hit = matcher.match(Fingerprint{{7, 8, 9}});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->stop, 1);
+  EXPECT_DOUBLE_EQ(hit->score, 3.0);
+}
+
+TEST(IndexedMatcher, FullPipelineReportsIdenticalToBruteForce) {
+  // End-to-end: on the default test world, the whole pipeline — matched
+  // samples, rejections, mapped stops, speed estimates — is byte-identical
+  // with and without the index.
+  World world;
+  Rng survey(2024);
+  const StopDatabase db = build_stop_database(
+      world.city(),
+      [&](StopId stop, int run) {
+        return world.scan_stop(stop, survey, run % 2 == 1);
+      },
+      3);
+  ServerConfig brute_cfg;
+  brute_cfg.matcher.use_index = false;
+  const TrafficServer indexed(world.city(), db);
+  const TrafficServer brute(world.city(), db, brute_cfg);
+  Rng rng(31);
+  const auto day = world.simulate_day(0, 1.0, rng);
+  ASSERT_GT(day.trips.size(), 20u);
+  for (const AnnotatedTrip& trip : day.trips) {
+    const auto a = indexed.analyze_trip(trip.upload);
+    const auto b = brute.analyze_trip(trip.upload);
+    EXPECT_EQ(a.rejected_samples, b.rejected_samples);
+    ASSERT_EQ(a.matched.size(), b.matched.size());
+    for (std::size_t i = 0; i < a.matched.size(); ++i) {
+      EXPECT_EQ(a.matched[i].stop, b.matched[i].stop);
+      EXPECT_EQ(a.matched[i].score, b.matched[i].score);
+    }
+    ASSERT_EQ(a.mapped.stops.size(), b.mapped.stops.size());
+    for (std::size_t i = 0; i < a.mapped.stops.size(); ++i) {
+      EXPECT_EQ(a.mapped.stops[i].stop, b.mapped.stops[i].stop);
+    }
+    ASSERT_EQ(a.estimates.size(), b.estimates.size());
+    for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+      EXPECT_EQ(a.estimates[i].segment, b.estimates[i].segment);
+      EXPECT_EQ(a.estimates[i].att_speed_kmh, b.estimates[i].att_speed_kmh);
+      EXPECT_EQ(a.estimates[i].time, b.estimates[i].time);
+    }
+  }
+}
+
+TEST(IndexedMatcher, PruningSkipsHopelessCandidates) {
+  // 1 shared cell cannot reach γ = 2, so the index must not even align it.
+  StopDatabase db;
+  db.add(1, Fingerprint{{10, 11, 12, 13}});
+  db.add(2, Fingerprint{{20, 21, 22, 23}});
+  const StopMatcher matcher(db);
+  MatchStats stats;
+  EXPECT_FALSE(matcher.match(Fingerprint{{10, 30, 31}}, &stats).has_value());
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.candidates, 0u);
+  EXPECT_EQ(stats.aligned, 0u);
+}
+
 // ------------------------------------------------------- goertzel vs fft
 
 class SpectrumAgreement : public ::testing::TestWithParam<std::size_t> {};
