@@ -43,9 +43,12 @@ SizedWorld make_world(double width, double height,
         return out.world->scan_stop(stop, survey, run % 2 == 1);
       },
       3);
-  Rng rng(seed + 1);
-  const auto day = out.world->simulate_day(0, 2.0, rng);
-  out.trips = day.trips;
+  // The ingest workload comes from the deterministic parallel trip driver:
+  // bit-identical at any thread count, so the bench input stays stable while
+  // fixture construction uses every core.
+  ThreadPool pool(std::thread::hardware_concurrency());
+  const auto specs = out.world->make_trip_specs(0, 240, seed + 1);
+  out.trips = out.world->simulate_trips(specs, seed + 1, &pool);
   return out;
 }
 
@@ -60,42 +63,6 @@ std::vector<SizedWorld>& worlds() {
     return v;
   }();
   return w;
-}
-
-double seconds_since(const std::chrono::steady_clock::time_point& start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-double percentile(std::vector<double> sorted_values, double p) {
-  if (sorted_values.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(sorted_values.size() - 1));
-  return sorted_values[idx];
-}
-
-/// Minimal machine-readable record of this run (schema documented by use in
-/// EXPERIMENTS.md / future regression tooling).
-struct JsonReport {
-  std::ostringstream body;
-  bool first = true;
-
-  void field(const std::string& raw) {
-    if (!first) body << ",\n";
-    first = false;
-    body << "  " << raw;
-  }
-  void write(const std::string& path) {
-    std::ofstream os(path);
-    os << "{\n" << body.str() << "\n}\n";
-  }
-};
-
-std::string num(double v) {
-  std::ostringstream os;
-  os.precision(6);
-  os << v;
-  return os.str();
 }
 
 void report() {

@@ -8,6 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "core/server.h"
 #include "core/stop_database.h"
 #include "trafficsim/world.h"
@@ -18,6 +24,43 @@ struct Testbed {
   World world;
   StopDatabase database;
 };
+
+inline double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// p-quantile of an ascending-sorted vector (nearest-rank, no interpolation).
+inline double percentile(const std::vector<double>& sorted_values, double p) {
+  if (sorted_values.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_values.size() - 1));
+  return sorted_values[idx];
+}
+
+/// Minimal machine-readable record of a bench run (schema documented by use
+/// in EXPERIMENTS.md / future regression tooling).
+struct JsonReport {
+  std::ostringstream body;
+  bool first = true;
+
+  void field(const std::string& raw) {
+    if (!first) body << ",\n";
+    first = false;
+    body << "  " << raw;
+  }
+  void write(const std::string& path) {
+    std::ofstream os(path);
+    os << "{\n" << body.str() << "\n}\n";
+  }
+};
+
+inline std::string num(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
 
 /// The default 7 km x 4 km world with a 5-run mixed-condition survey DB.
 const Testbed& testbed();

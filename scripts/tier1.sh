@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification: runs the ROADMAP.md verify line verbatim from the
+# repository root. Bench ctest registration is off by default, so this stays
+# the fast gate; run the benches separately with
+#   cmake -B build -S . -DBUSSENSE_BENCH_TESTS=ON && ctest --test-dir build -L bench
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

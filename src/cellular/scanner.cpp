@@ -1,31 +1,76 @@
 #include "cellular/scanner.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bussense {
 
+namespace {
+
+// The reach bound divides by the path-loss exponent and multiplies the
+// clamp; non-positive values make it unsound, so keep the exhaustive scan.
+bool index_usable(const RadioEnvironment& env) {
+  return env.config().path_loss_exponent > 0.0 &&
+         env.config().noise_clamp_sigmas > 0.0;
+}
+
+}  // namespace
+
 std::vector<CellObservation> CellScanner::scan(const RadioEnvironment& env,
-                                               Point p, Rng& rng,
-                                               bool in_bus) const {
+                                               Point p, Rng& rng, bool in_bus,
+                                               ScanStats* stats) const {
   const double extra = in_bus ? config_.in_bus_noise_db : 0.0;
+  // One engine draw keys every tower's temporal deviate for this scan, so
+  // the caller's rng stream advances identically on both paths.
+  const std::uint64_t scan_key = rng.engine()();
+  if (stats) stats->towers = env.towers().size();
+
   std::vector<CellObservation> seen;
-  for (const CellTower& tower : env.towers()) {
-    const double rss = env.sample_rss_dbm(tower, p, rng, extra);
-    if (rss >= config_.sensitivity_dbm) {
-      seen.push_back(CellObservation{tower.id, rss});
+  if (config_.use_index && index_usable(env)) {
+    thread_local std::vector<std::uint32_t> candidates;
+    env.tower_index().query(
+        p, env.max_reach_radius_m(config_.sensitivity_dbm, extra), candidates);
+    if (stats) stats->candidates = candidates.size();
+    const double noise_bound =
+        env.config().noise_clamp_sigmas *
+        std::hypot(env.config().temporal_sigma_db, extra);
+    for (const std::uint32_t i : candidates) {
+      const CellTower& tower = env.towers()[i];
+      // The mean already contains the (clamped) shadowing, so mean + the
+      // clamped temporal bound is a sound per-tower RSS upper bound; a
+      // candidate below it is dropped without hashing its deviate. Skipping
+      // is free of side effects because the deviate is counter-based.
+      const double mean = env.mean_rss_dbm(tower, p);
+      if (mean + noise_bound < config_.sensitivity_dbm) continue;
+      if (stats) ++stats->sampled;
+      const double rss = mean + env.temporal_noise_db(tower.id, scan_key, extra);
+      if (rss >= config_.sensitivity_dbm) {
+        seen.push_back(CellObservation{tower.id, rss});
+      }
+    }
+  } else {
+    if (stats) stats->candidates = env.towers().size();
+    for (const CellTower& tower : env.towers()) {
+      if (stats) ++stats->sampled;
+      const double rss = env.sample_rss_dbm(tower, p, scan_key, extra);
+      if (rss >= config_.sensitivity_dbm) {
+        seen.push_back(CellObservation{tower.id, rss});
+      }
     }
   }
   std::sort(seen.begin(), seen.end(),
             [](const CellObservation& a, const CellObservation& b) {
-              return a.rss_dbm > b.rss_dbm;
+              return a.rss_dbm != b.rss_dbm ? a.rss_dbm > b.rss_dbm
+                                            : a.id < b.id;
             });
   if (seen.size() > config_.max_towers) seen.resize(config_.max_towers);
   return seen;
 }
 
 Fingerprint CellScanner::scan_fingerprint(const RadioEnvironment& env, Point p,
-                                          Rng& rng, bool in_bus) const {
-  return make_fingerprint(scan(env, p, rng, in_bus));
+                                          Rng& rng, bool in_bus,
+                                          ScanStats* stats) const {
+  return make_fingerprint(scan(env, p, rng, in_bus, stats));
 }
 
 }  // namespace bussense

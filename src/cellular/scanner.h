@@ -2,8 +2,15 @@
 //
 // Real modems report the serving cell plus a handful of monitored
 // neighbours; the paper observes 4–7 visible towers per bus stop. The
-// scanner samples RSS for every deployed tower, keeps those above the modem
-// sensitivity, and truncates to the strongest max_towers.
+// scanner samples RSS per tower, keeps those above the modem sensitivity,
+// and truncates to the strongest max_towers.
+//
+// The fast path asks the environment's spatial tower index only for towers
+// inside the conservative reach disk, prunes each candidate by its RSS
+// upper bound before drawing the (counter-based, clamped) temporal deviate,
+// and is bit-identical to the brute-force loop over every deployed tower —
+// any skipped tower provably cannot clear the sensitivity threshold.
+// `use_index = false` keeps the brute-force scan for the ablations.
 #pragma once
 
 #include <vector>
@@ -20,6 +27,17 @@ struct ScannerConfig {
   /// Additional per-scan RSS spread when the phone is inside a bus (body
   /// and vehicle attenuation varies with seating position).
   double in_bus_noise_db = 1.8;
+  /// Scan via the spatial tower index. Falls back to the full loop
+  /// automatically when the reach bound is unsound (non-positive path-loss
+  /// exponent or noise clamp).
+  bool use_index = true;
+};
+
+/// Per-call work counters (benches report candidates/scan).
+struct ScanStats {
+  std::size_t towers = 0;      ///< deployed towers
+  std::size_t candidates = 0;  ///< towers inside the reach disk
+  std::size_t sampled = 0;     ///< candidates whose temporal deviate was drawn
 };
 
 class CellScanner {
@@ -27,13 +45,16 @@ class CellScanner {
   explicit CellScanner(ScannerConfig config = {}) : config_(config) {}
 
   /// Scans at `p`. `in_bus` adds the in-bus noise term. Result is sorted by
-  /// descending RSS.
+  /// descending RSS (ties by ascending cell id). Consumes exactly one draw
+  /// from `rng` (the per-scan noise key) on either path.
   std::vector<CellObservation> scan(const RadioEnvironment& env, Point p,
-                                    Rng& rng, bool in_bus = false) const;
+                                    Rng& rng, bool in_bus = false,
+                                    ScanStats* stats = nullptr) const;
 
   /// Convenience: scan and convert to an ordered fingerprint.
   Fingerprint scan_fingerprint(const RadioEnvironment& env, Point p, Rng& rng,
-                               bool in_bus = false) const;
+                               bool in_bus = false,
+                               ScanStats* stats = nullptr) const;
 
   const ScannerConfig& config() const { return config_; }
 

@@ -1,0 +1,92 @@
+#include "cellular/tower_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bussense {
+
+namespace {
+std::int64_t grid_floor(double v, double cell_m) {
+  return static_cast<std::int64_t>(std::floor(v / cell_m));
+}
+}  // namespace
+
+TowerIndex::TowerIndex(const std::vector<CellTower>& towers, double cell_m)
+    : cell_m_(cell_m) {
+  if (cell_m <= 0.0) {
+    throw std::invalid_argument("TowerIndex: non-positive cell size");
+  }
+  positions_.reserve(towers.size());
+  for (const CellTower& t : towers) positions_.push_back(t.position);
+  if (positions_.empty()) {
+    cell_start_.assign(1, 0);
+    return;
+  }
+  std::int64_t gx1 = 0, gy1 = 0;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const std::int64_t gx = grid_floor(positions_[i].x, cell_m_);
+    const std::int64_t gy = grid_floor(positions_[i].y, cell_m_);
+    if (i == 0) {
+      gx0_ = gx1 = gx;
+      gy0_ = gy1 = gy;
+    } else {
+      gx0_ = std::min(gx0_, gx);
+      gy0_ = std::min(gy0_, gy);
+      gx1 = std::max(gx1, gx);
+      gy1 = std::max(gy1, gy);
+    }
+  }
+  nx_ = static_cast<std::size_t>(gx1 - gx0_ + 1);
+  ny_ = static_cast<std::size_t>(gy1 - gy0_ + 1);
+
+  // Counting sort into CSR: ascending tower index within each cell because
+  // the fill pass walks towers in order.
+  cell_start_.assign(nx_ * ny_ + 1, 0);
+  const auto cell_of = [&](Point p) {
+    const auto cx = static_cast<std::size_t>(grid_floor(p.x, cell_m_) - gx0_);
+    const auto cy = static_cast<std::size_t>(grid_floor(p.y, cell_m_) - gy0_);
+    return cy * nx_ + cx;
+  };
+  for (const Point& p : positions_) ++cell_start_[cell_of(p) + 1];
+  for (std::size_t c = 1; c < cell_start_.size(); ++c) {
+    cell_start_[c] += cell_start_[c - 1];
+  }
+  entries_.resize(positions_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    entries_[cursor[cell_of(positions_[i])]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void TowerIndex::query(Point p, double radius_m,
+                       std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (positions_.empty() || radius_m < 0.0) return;
+  const std::int64_t cx0 =
+      std::max(grid_floor(p.x - radius_m, cell_m_), gx0_);
+  const std::int64_t cy0 =
+      std::max(grid_floor(p.y - radius_m, cell_m_), gy0_);
+  const std::int64_t cx1 = std::min(grid_floor(p.x + radius_m, cell_m_),
+                                    gx0_ + static_cast<std::int64_t>(nx_) - 1);
+  const std::int64_t cy1 = std::min(grid_floor(p.y + radius_m, cell_m_),
+                                    gy0_ + static_cast<std::int64_t>(ny_) - 1);
+  const double r2 = radius_m * radius_m;
+  for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      const std::size_t c = static_cast<std::size_t>(cy - gy0_) * nx_ +
+                            static_cast<std::size_t>(cx - gx0_);
+      for (std::uint32_t e = cell_start_[c]; e < cell_start_[c + 1]; ++e) {
+        const std::uint32_t i = entries_[e];
+        const double dx = positions_[i].x - p.x;
+        const double dy = positions_[i].y - p.y;
+        if (dx * dx + dy * dy <= r2) out.push_back(i);
+      }
+    }
+  }
+  // Cells are visited row-major but candidates must mirror the brute-force
+  // tower order exactly.
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace bussense

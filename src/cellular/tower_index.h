@@ -1,0 +1,45 @@
+// Uniform-grid spatial index over the deployed cell towers.
+//
+// City-scale scans must not walk every tower: a tower whose path loss at the
+// scan position cannot be overcome even by the most favourable shadowing and
+// temporal deviate can never clear the modem sensitivity, and the set of
+// towers that *can* is bounded by a disk around the scan position. The index
+// buckets towers into fixed-size grid cells (CSR layout) so a radius query
+// touches only the cells overlapping the disk. Candidates are returned in
+// ascending tower order, which keeps the indexed scan's evaluation order —
+// and therefore its output, including tie-breaking — identical to the
+// brute-force loop over `RadioEnvironment::towers()`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellular/cell_tower.h"
+#include "common/geo.h"
+
+namespace bussense {
+
+class TowerIndex {
+ public:
+  /// Builds the grid over `towers` with cells of `cell_m` metres. Tower
+  /// order (and thus the indices handed back by `query`) follows `towers`.
+  TowerIndex(const std::vector<CellTower>& towers, double cell_m);
+
+  /// Appends to `out` the indices (into the tower vector the index was built
+  /// from) of all towers within `radius_m` of `p`, ascending. `out` is
+  /// cleared first.
+  void query(Point p, double radius_m, std::vector<std::uint32_t>& out) const;
+
+  double cell_m() const { return cell_m_; }
+  std::size_t tower_count() const { return positions_.size(); }
+
+ private:
+  double cell_m_;
+  std::int64_t gx0_ = 0, gy0_ = 0;  ///< grid origin cell
+  std::size_t nx_ = 0, ny_ = 0;     ///< grid extent in cells
+  std::vector<std::uint32_t> cell_start_;  ///< CSR offsets, nx_*ny_ + 1
+  std::vector<std::uint32_t> entries_;     ///< tower indices, cell-major
+  std::vector<Point> positions_;           ///< tower positions by index
+};
+
+}  // namespace bussense

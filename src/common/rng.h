@@ -10,6 +10,16 @@
 
 namespace bussense {
 
+/// SplitMix64 finaliser — cheap, well-mixed 64-bit hash. Shared by every
+/// component that derives deterministic values from integer keys (static
+/// shadowing, per-scan temporal noise, tower churn, per-trip substreams).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
@@ -51,6 +61,14 @@ class Rng {
   /// A fresh generator deterministically derived from this one. Used to give
   /// independent substreams to sub-components without sharing state.
   Rng fork() { return Rng(engine_()); }
+
+  /// Order-independent substream derivation: the generator for stream
+  /// `index` under `seed` is the same no matter how many other streams were
+  /// created before it (unlike sequential fork()). This is what makes
+  /// parallel per-trip simulation bit-identical at any thread count.
+  static Rng stream(std::uint64_t seed, std::uint64_t index) {
+    return Rng(mix64(seed ^ mix64(index + 0x632be59bd9b4e019ULL)));
+  }
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -1,0 +1,123 @@
+// Small fixed-size thread pool with an index-sharded parallel_for.
+//
+// The trip driver fans independent rider simulations out over a fixed set
+// of workers; each body invocation owns its output slot and its own Rng, so
+// the schedule never influences the results — parallel_for(n, body) is
+// bit-identical to calling body(0..n-1) serially, at any thread count.
+// Workers sleep between jobs; the submitting thread participates in the
+// work, so a pool of size 1 degrades to a plain loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bussense {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` total workers (the caller counts as one, so
+  /// `threads - 1` are spawned). 0 is treated as 1.
+  explicit ThreadPool(unsigned threads) {
+    const unsigned n = threads == 0 ? 1 : threads;
+    workers_.reserve(n - 1);
+    for (unsigned i = 0; i + 1 < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs body(0), …, body(n-1) across the pool and blocks until all have
+  /// returned. The first exception thrown by a body is rethrown here (the
+  /// remaining indices still run). Not reentrant.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      body_ = &body;
+      total_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      remaining_.store(n, std::memory_order_relaxed);
+      error_ = nullptr;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    run_job(body);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+    body_ = nullptr;
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* body = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        body = body_;
+      }
+      if (body) run_job(*body);
+    }
+  }
+
+  void run_job(const std::function<void(std::size_t)>& body) {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total_) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t total_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> remaining_{0};
+  std::exception_ptr error_;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace bussense

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
-
-#include "dsp/goertzel.h"
 
 namespace bussense {
 
@@ -17,18 +16,22 @@ BeepDetector::BeepDetector(BeepDetectorConfig config)
     : config_(std::move(config)),
       frame_len_(static_cast<std::size_t>(config_.sample_rate_hz *
                                           config_.frame_seconds)),
-      smooth_frames_(std::max<std::size_t>(
-          1, static_cast<std::size_t>(config_.smoothing_seconds /
-                                      config_.frame_seconds))) {
+      bank_(config_.sample_rate_hz, config_.tone_frequencies_hz),
+      band_powers_(config_.tone_frequencies_hz.size(), 0.0) {
   if (frame_len_ == 0) {
     throw std::invalid_argument("BeepDetector: frame too short for sample rate");
   }
   if (config_.tone_frequencies_hz.empty()) {
     throw std::invalid_argument("BeepDetector: no tone frequencies");
   }
-  for (double f : config_.tone_frequencies_hz) {
-    bands_.push_back(Band{f, {}, 0.0});
-    recent_raw_.emplace_back();
+  const std::size_t smooth_frames = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.smoothing_seconds /
+                                  config_.frame_seconds));
+  const std::size_t baseline_frames =
+      std::max<std::size_t>(1, config_.baseline_frames);
+  bands_.reserve(config_.tone_frequencies_hz.size());
+  for (std::size_t b = 0; b < config_.tone_frequencies_hz.size(); ++b) {
+    bands_.emplace_back(smooth_frames, baseline_frames);
   }
   frame_buf_.reserve(frame_len_);
 }
@@ -48,11 +51,10 @@ std::vector<BeepEvent> BeepDetector::process(std::span<const float> samples) {
 
 void BeepDetector::finish_frame(std::vector<BeepEvent>& events) {
   ++frames_;
-  // Wideband frame energy used to normalise the tone powers, making the
-  // detector robust to overall volume (pocket vs hand-held phone).
-  double frame_energy = 0.0;
-  for (float s : frame_buf_) frame_energy += static_cast<double>(s) * s;
-  frame_energy /= static_cast<double>(frame_len_);
+  // One pass over the frame advances every tone recurrence and accumulates
+  // the wideband energy that normalises the tone powers (making the
+  // detector robust to overall volume — pocket vs hand-held phone).
+  const double frame_energy = bank_.analyze(frame_buf_, band_powers_);
   const double norm = frame_energy + 1e-12;
 
   double min_jump_sigmas = std::numeric_limits<double>::infinity();
@@ -60,34 +62,25 @@ void BeepDetector::finish_frame(std::vector<BeepEvent>& events) {
   bool bands_strong = true;
   for (std::size_t b = 0; b < bands_.size(); ++b) {
     Band& band = bands_[b];
-    const double raw =
-        goertzel_power(frame_buf_, config_.sample_rate_hz, band.frequency) / norm;
-    auto& recent = recent_raw_[b];
-    recent.push_back(raw);
-    if (recent.size() > smooth_frames_) recent.erase(recent.begin());
-    double sum = 0.0;
-    for (double v : recent) sum += v;
-    band.smoothed = sum / static_cast<double>(recent.size());
+    const double raw = band_powers_[b] / norm;
+    band.recent.push(raw);
+    band.smoothed = band.recent.mean();
     // The Goertzel power of an in-band tone scales with ~N/2 of the frame
     // energy share; compare against the frame-normalised level accordingly.
     const double band_fraction =
         band.smoothed / (0.5 * static_cast<double>(frame_len_));
     bands_strong = bands_strong && band_fraction >= config_.min_band_fraction;
 
-    if (band.smooth_buf.size() < kMinBaselineFrames) {
+    if (band.baseline.size() < kMinBaselineFrames) {
       baseline_ready = false;
     } else {
-      double mean = 0.0;
-      for (double v : band.smooth_buf) mean += v;
-      mean /= static_cast<double>(band.smooth_buf.size());
-      double var = 0.0;
-      for (double v : band.smooth_buf) var += (v - mean) * (v - mean);
-      var /= static_cast<double>(band.smooth_buf.size());
+      const double mean = band.baseline.mean();
       // Deviation floor: slow amplitude modulation of the background (crowd
       // babble) shrinks neither to silence nor to beep-scale jumps; tying
       // the floor to the baseline mean keeps 3-sigma meaningful.
       const double sigma =
-          std::max(std::sqrt(var), config_.sigma_floor_fraction * mean + 1e-12);
+          std::max(std::sqrt(band.baseline.variance()),
+                   config_.sigma_floor_fraction * mean + 1e-12);
       min_jump_sigmas =
           std::min(min_jump_sigmas, (band.smoothed - mean) / sigma);
     }
@@ -108,12 +101,7 @@ void BeepDetector::finish_frame(std::vector<BeepEvent>& events) {
   // Keep the baseline clean: frames that look like a beep are excluded so
   // one beep does not desensitise the detector to the next.
   if (!baseline_ready || min_jump_sigmas < config_.threshold_sigmas) {
-    for (Band& band : bands_) {
-      band.smooth_buf.push_back(band.smoothed);
-      if (band.smooth_buf.size() > config_.baseline_frames) {
-        band.smooth_buf.erase(band.smooth_buf.begin());
-      }
-    }
+    for (Band& band : bands_) band.baseline.push(band.smoothed);
   }
 }
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "common/sim_time.h"
+#include "dsp/goertzel_bank.h"
+#include "dsp/sliding_window.h"
 
 namespace bussense {
 
@@ -68,15 +70,19 @@ class BeepDetector {
   SimTime origin_ = 0.0;
   std::size_t samples_consumed_ = 0;
   std::size_t frames_ = 0;
-  // Per-band state.
+  // Per-band state. Both windows are O(1) running-sum rings: `recent` is
+  // the w = 30 ms smoothing window over raw powers, `baseline` the noise
+  // history the jump threshold is measured against.
   struct Band {
-    double frequency;
-    std::vector<double> smooth_buf;   // recent smoothed powers (baseline)
+    Band(std::size_t smooth_frames, std::size_t baseline_frames)
+        : recent(smooth_frames), baseline(baseline_frames) {}
+    RingWindow recent;
+    RingWindow baseline;
     double smoothed = 0.0;
   };
   std::vector<Band> bands_;
-  std::size_t smooth_frames_;
-  std::vector<std::vector<double>> recent_raw_;  // per band, last frames for smoothing
+  GoertzelBank bank_;             ///< all tone recurrences in one frame pass
+  std::vector<double> band_powers_;  ///< scratch for the bank output
   double last_event_time_ = -1e18;
 };
 

@@ -6,22 +6,20 @@
 
 namespace bussense {
 
-namespace {
-double goertzel_coeff(double sample_rate_hz, double frequency_hz) {
+double goertzel_coefficient(double sample_rate_hz, double frequency_hz) {
   if (frequency_hz <= 0.0 || frequency_hz >= sample_rate_hz / 2.0) {
     throw std::invalid_argument("Goertzel frequency must be in (0, Nyquist)");
   }
   const double omega = 2.0 * std::numbers::pi * frequency_hz / sample_rate_hz;
   return 2.0 * std::cos(omega);
 }
-}  // namespace
 
 double goertzel_power(std::span<const float> samples, double sample_rate_hz,
                       double frequency_hz) {
   if (samples.empty()) {
     throw std::invalid_argument("goertzel_power: empty window");
   }
-  const double coeff = goertzel_coeff(sample_rate_hz, frequency_hz);
+  const double coeff = goertzel_coefficient(sample_rate_hz, frequency_hz);
   double s1 = 0.0, s2 = 0.0;
   for (float x : samples) {
     const double s0 = x + coeff * s1 - s2;
@@ -44,7 +42,7 @@ std::vector<double> goertzel_powers(std::span<const float> samples,
 }
 
 GoertzelFilter::GoertzelFilter(double sample_rate_hz, double frequency_hz)
-    : coeff_(goertzel_coeff(sample_rate_hz, frequency_hz)) {}
+    : coeff_(goertzel_coefficient(sample_rate_hz, frequency_hz)) {}
 
 void GoertzelFilter::reset() {
   s1_ = s2_ = 0.0;

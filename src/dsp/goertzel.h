@@ -14,6 +14,10 @@
 
 namespace bussense {
 
+/// Recurrence coefficient 2·cos(2π·f/fs) shared by the scalar filter and
+/// the multi-tone bank. Throws unless 0 < frequency_hz < sample_rate_hz / 2.
+double goertzel_coefficient(double sample_rate_hz, double frequency_hz);
+
 /// Power of the frequency bin nearest `frequency_hz` over `samples`,
 /// normalised by the window length so windows of different sizes compare.
 /// Preconditions: !samples.empty(), 0 < frequency_hz < sample_rate_hz / 2.

@@ -1,0 +1,67 @@
+#include "dsp/goertzel_bank.h"
+
+#include <cassert>
+
+#include "dsp/goertzel.h"
+
+namespace bussense {
+
+GoertzelBank::GoertzelBank(double sample_rate_hz,
+                           std::span<const double> frequencies_hz) {
+  coeffs_.reserve(frequencies_hz.size());
+  for (const double f : frequencies_hz) {
+    coeffs_.push_back(goertzel_coefficient(sample_rate_hz, f));
+  }
+  s1_.assign(coeffs_.size(), 0.0);
+  s2_.assign(coeffs_.size(), 0.0);
+}
+
+double GoertzelBank::analyze(std::span<const float> frame,
+                             std::span<double> powers_out) {
+  assert(!frame.empty());
+  assert(powers_out.size() == coeffs_.size());
+  const std::size_t k = coeffs_.size();
+  const double* const c = coeffs_.data();
+  const double n = static_cast<double>(frame.size());
+
+  // The two-tone case (the default card-reader signature) keeps all state
+  // in registers: the three recurrences are independent dependency chains,
+  // so they pipeline in the latency shadow of one scalar Goertzel pass.
+  if (k == 2) {
+    const double c0 = c[0], c1 = c[1];
+    double a1 = 0.0, a2 = 0.0, b1 = 0.0, b2 = 0.0, energy = 0.0;
+    for (const float sample : frame) {
+      const double x = static_cast<double>(sample);
+      energy += x * x;
+      const double a0 = x + c0 * a1 - a2;
+      a2 = a1;
+      a1 = a0;
+      const double b0 = x + c1 * b1 - b2;
+      b2 = b1;
+      b1 = b0;
+    }
+    powers_out[0] = (a1 * a1 + a2 * a2 - c0 * a1 * a2) / n;
+    powers_out[1] = (b1 * b1 + b2 * b2 - c1 * b1 * b2) / n;
+    return energy / n;
+  }
+
+  double* const s1 = s1_.data();
+  double* const s2 = s2_.data();
+  for (std::size_t b = 0; b < k; ++b) s1[b] = s2[b] = 0.0;
+  double energy = 0.0;
+  for (const float sample : frame) {
+    const double x = static_cast<double>(sample);
+    energy += x * x;
+    for (std::size_t b = 0; b < k; ++b) {
+      const double s0 = x + c[b] * s1[b] - s2[b];
+      s2[b] = s1[b];
+      s1[b] = s0;
+    }
+  }
+  for (std::size_t b = 0; b < k; ++b) {
+    powers_out[b] = (s1[b] * s1[b] + s2[b] * s2[b] - c[b] * s1[b] * s2[b]) / n;
+  }
+  return energy / n;
+}
+
+}  // namespace bussense

@@ -1,0 +1,38 @@
+// One-pass multi-tone Goertzel bank.
+//
+// The beep detector monitors K tone bands plus the wideband frame energy,
+// which as K+1 separate loops traverses every audio frame K+1 times. The
+// bank keeps the K recurrences in struct-of-arrays form and advances all of
+// them — and the energy accumulator — in a single pass over the frame, so
+// each sample is loaded once and the per-band update auto-vectorizes. Band
+// powers are normalised by the frame length exactly like goertzel_power();
+// per band the operation sequence is identical to the scalar filter, so the
+// results match it bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bussense {
+
+class GoertzelBank {
+ public:
+  /// Preconditions per frequency: 0 < f < sample_rate_hz / 2.
+  GoertzelBank(double sample_rate_hz,
+               std::span<const double> frequencies_hz);
+
+  std::size_t size() const { return coeffs_.size(); }
+
+  /// One pass over `frame`: writes the per-band powers (normalised by the
+  /// frame length) to `powers_out` and returns the mean per-sample frame
+  /// energy. Preconditions: !frame.empty(), powers_out.size() == size().
+  double analyze(std::span<const float> frame, std::span<double> powers_out);
+
+ private:
+  std::vector<double> coeffs_;
+  std::vector<double> s1_;
+  std::vector<double> s2_;
+};
+
+}  // namespace bussense

@@ -2,15 +2,70 @@
 //
 // The beep detector smooths band power with the paper's w = 30 ms averaging
 // window and thresholds jumps at three standard deviations of the recent
-// history; this class provides both the mean and the deviation estimate.
+// history; these classes provide the mean and the deviation estimate.
+// RingWindow is the allocation-free form used on the per-frame hot path:
+// a fixed vector ring with running first and second moments, so push, mean
+// and variance are O(1) regardless of the window length.
 #pragma once
 
 #include <cmath>
 #include <cstddef>
 #include <deque>
 #include <stdexcept>
+#include <vector>
 
 namespace bussense {
+
+class RingWindow {
+ public:
+  explicit RingWindow(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingWindow capacity 0");
+  }
+
+  void push(double x) {
+    if (size_ == buf_.size()) {
+      const double old = buf_[head_];
+      sum_ -= old;
+      sum2_ -= old * old;
+    } else {
+      ++size_;
+    }
+    buf_[head_] = x;
+    head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+    sum_ += x;
+    sum2_ += x * x;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  bool full() const { return size_ == buf_.size(); }
+
+  double mean() const {
+    return size_ == 0 ? 0.0 : sum_ / static_cast<double>(size_);
+  }
+
+  /// Population variance (the beep detector's baseline convention); the
+  /// running-moment form can go slightly negative from cancellation, so it
+  /// is floored at zero.
+  double variance() const {
+    if (size_ == 0) return 0.0;
+    const double m = mean();
+    const double v = sum2_ / static_cast<double>(size_) - m * m;
+    return v > 0.0 ? v : 0.0;
+  }
+
+  void clear() {
+    size_ = head_ = 0;
+    sum_ = sum2_ = 0.0;
+  }
+
+ private:
+  std::vector<double> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  double sum_ = 0.0;
+  double sum2_ = 0.0;
+};
 
 class SlidingWindow {
  public:

@@ -36,15 +36,6 @@ Fingerprint World::scan_stop(StopId stop, Rng& rng, bool in_bus,
       when);
 }
 
-namespace {
-std::uint64_t churn_mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-}  // namespace
-
 Fingerprint World::apply_churn(Fingerprint fingerprint, SimTime when) const {
   const bool gradual = config_.tower_churn_per_day > 0.0;
   const bool event = config_.tower_churn_event_day >= 0 &&
@@ -58,14 +49,14 @@ Fingerprint World::apply_churn(Fingerprint fingerprint, SimTime when) const {
     if (gradual) {
       for (int d = 1; d <= day; ++d) {
         const std::uint64_t h =
-            churn_mix(config_.seed ^ (static_cast<std::uint64_t>(id) << 20) ^
+            mix64(config_.seed ^ (static_cast<std::uint64_t>(id) << 20) ^
                       static_cast<std::uint64_t>(d));
         const double u = static_cast<double>(h >> 11) / 9007199254740992.0;
         if (u < config_.tower_churn_per_day) ++epoch;
       }
     }
     if (event && day >= config_.tower_churn_event_day) {
-      const std::uint64_t h = churn_mix(
+      const std::uint64_t h = mix64(
           config_.seed ^ 0xabcdef ^ (static_cast<std::uint64_t>(id) << 20));
       const double u = static_cast<double>(h >> 11) / 9007199254740992.0;
       if (u < config_.tower_churn_event_fraction) ++epoch;
@@ -234,6 +225,54 @@ AnnotatedTrip World::simulate_transfer_trip(const BusRoute& first, int board_a,
       {TripLeg{&first, &run_a, board_a, alight_a},
        TripLeg{&second, &run_b, board_b, alight_b}},
       /*participant=*/0, rng);
+}
+
+std::vector<World::TripSpec> World::make_trip_specs(int day, std::size_t count,
+                                                    std::uint64_t seed) const {
+  std::vector<TripSpec> specs;
+  specs.reserve(count);
+  const SimTime day0 = at_clock(day, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Each spec from its own substream: the workload for (seed, i) never
+    // depends on how many specs were requested.
+    Rng rng = Rng::stream(seed, i);
+    TripSpec spec;
+    for (int tries = 0; tries < 32; ++tries) {
+      const auto route_idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(city_->routes().size()) - 1));
+      const BusRoute& route = city_->routes()[route_idx];
+      const int n_stops = static_cast<int>(route.stop_count());
+      if (n_stops < 4) continue;
+      spec.route = route.id();
+      spec.board = rng.uniform_int(0, n_stops - 3);
+      const int ride = 2 + rng.poisson(5.0);
+      spec.alight = std::min(spec.board + ride, n_stops - 1);
+      break;
+    }
+    spec.depart =
+        day0 + rng.uniform(config_.service_start_h, config_.service_end_h - 0.5) *
+                   kHour;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::vector<AnnotatedTrip> World::simulate_trips(
+    const std::vector<TripSpec>& specs, std::uint64_t seed,
+    ThreadPool* pool) const {
+  std::vector<AnnotatedTrip> trips(specs.size());
+  const auto simulate_one = [&](std::size_t i) {
+    const TripSpec& spec = specs[i];
+    Rng rng = Rng::stream(seed, i);
+    trips[i] = simulate_single_trip(city_->route(spec.route), spec.board,
+                                    spec.alight, spec.depart, rng);
+  };
+  if (pool) {
+    pool->parallel_for(specs.size(), simulate_one);
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) simulate_one(i);
+  }
+  return trips;
 }
 
 std::vector<AnnotatedTrip> World::simulate_driver_day(int day, Rng& rng) const {

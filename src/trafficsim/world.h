@@ -23,6 +23,7 @@
 #include "citynet/city.h"
 #include "citynet/city_generator.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "sensing/accel_model.h"
 #include "sensing/trip.h"
 #include "sensing/trip_recorder.h"
@@ -109,6 +110,29 @@ class World {
   /// One trip per bus run over a whole day — the paper's "encourage the bus
   /// drivers to install our app to bootstrap the system" deployment mode.
   std::vector<AnnotatedTrip> simulate_driver_day(int day, Rng& rng) const;
+
+  /// One independently simulated rider trip: ride `route` from stop index
+  /// `board` to `alight` on a bus departing the terminal at `depart`.
+  struct TripSpec {
+    RouteId route = kInvalidRoute;
+    int board = 0;
+    int alight = 1;
+    SimTime depart = 0.0;
+  };
+
+  /// A deterministic city-scale trip workload: `count` specs over the day's
+  /// service window, each drawn from its own (seed, index) substream.
+  std::vector<TripSpec> make_trip_specs(int day, std::size_t count,
+                                        std::uint64_t seed) const;
+
+  /// Simulates every spec, fanned out over `pool` (serial when null). Trip
+  /// i is seeded by the order-independent substream (seed, i), so the
+  /// result vector is bit-identical at any thread count — including the
+  /// serial run. This is the front-end counterpart of the backend's
+  /// concurrent ingestion path.
+  std::vector<AnnotatedTrip> simulate_trips(const std::vector<TripSpec>& specs,
+                                            std::uint64_t seed,
+                                            ThreadPool* pool = nullptr) const;
 
   /// One survey scan at a stop (used to build/evaluate fingerprint DBs).
   /// `when` determines which tower-churn epoch applies.

@@ -1,0 +1,349 @@
+// Sensing fast-path equivalence: the indexed scan, the one-pass Goertzel
+// bank and the parallel trip driver must be *result-identical* to their
+// brute-force / scalar / serial reference paths — the contract that lets
+// the benches claim speedups without changing any downstream number.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "cellular/deployment.h"
+#include "cellular/scanner.h"
+#include "cellular/tower_index.h"
+#include "common/thread_pool.h"
+#include "dsp/audio_synth.h"
+#include "dsp/beep_detector.h"
+#include "dsp/goertzel.h"
+#include "dsp/goertzel_bank.h"
+#include "dsp/sliding_window.h"
+#include "trafficsim/world.h"
+
+namespace bussense {
+namespace {
+
+// ------------------------------------------------- indexed scan identity
+
+class ScanEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScanEquivalence, IndexedMatchesBruteForceBitForBit) {
+  Rng meta(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    const double w = meta.uniform(1500.0, 9000.0);
+    const double h = meta.uniform(1500.0, 6000.0);
+    Rng deploy_rng(meta.engine()());
+    const auto towers =
+        deploy_towers({{0.0, 0.0}, {w, h}}, DeploymentConfig{}, deploy_rng);
+    const RadioEnvironment env(towers, PropagationConfig{}, meta.engine()());
+
+    ScannerConfig indexed_cfg, brute_cfg;
+    brute_cfg.use_index = false;
+    const CellScanner indexed(indexed_cfg);
+    const CellScanner brute(brute_cfg);
+
+    const std::uint64_t scan_seed = meta.engine()();
+    Rng rng_a(scan_seed), rng_b(scan_seed);
+    for (int s = 0; s < 50; ++s) {
+      const Point p{meta.uniform(-500.0, w + 500.0),
+                    meta.uniform(-500.0, h + 500.0)};
+      const bool in_bus = meta.bernoulli(0.5);
+      ScanStats stats;
+      const auto a = indexed.scan(env, p, rng_a, in_bus, &stats);
+      const auto b = brute.scan(env, p, rng_b, in_bus);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].rss_dbm, b[i].rss_dbm);  // bit-identical doubles
+      }
+      // Both paths must consume the caller's rng stream identically.
+      EXPECT_EQ(rng_a.engine()(), rng_b.engine()());
+      EXPECT_EQ(stats.towers, towers.size());
+      EXPECT_LE(stats.candidates, stats.towers);
+      EXPECT_LE(stats.sampled, stats.candidates);
+    }
+  }
+}
+
+TEST_P(ScanEquivalence, WorldScanStopWithChurnIsIndexInvariant) {
+  WorldConfig base;
+  base.city.route_names = {"79", "243"};
+  base.city.width_m = 4000.0;
+  base.city.height_m = 2500.0;
+  base.seed = GetParam();
+  base.tower_churn_per_day = 0.05;
+  base.tower_churn_event_day = 2;
+  base.tower_churn_event_fraction = 0.3;
+  WorldConfig brute = base;
+  brute.scanner.use_index = false;
+  const World world_indexed(base), world_brute(brute);
+
+  const std::uint64_t scan_seed = 1234 + GetParam();
+  Rng rng_a(scan_seed), rng_b(scan_seed);
+  Rng pick(GetParam() ^ 0xabcd);
+  for (int s = 0; s < 40; ++s) {
+    const auto stop = static_cast<StopId>(pick.uniform_int(
+        0, static_cast<int>(world_indexed.city().stops().size()) - 1));
+    const bool in_bus = pick.bernoulli(0.5);
+    const SimTime when = at_clock(pick.uniform_int(0, 4), 12, 0);
+    const Fingerprint a = world_indexed.scan_stop(stop, rng_a, in_bus, when);
+    const Fingerprint b = world_brute.scan_stop(stop, rng_b, in_bus, when);
+    EXPECT_EQ(a.cells, b.cells);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanEquivalence,
+                         ::testing::Values(1u, 7u, 42u, 1337u));
+
+TEST(TowerIndex, QueryMatchesLinearScan) {
+  Rng rng(5);
+  std::vector<CellTower> towers;
+  for (int i = 0; i < 300; ++i) {
+    towers.push_back(CellTower{static_cast<CellId>(1000 + i),
+                               {rng.uniform(-2000.0, 7000.0),
+                                rng.uniform(-1000.0, 5000.0)},
+                               38.5});
+  }
+  const TowerIndex index(towers, 750.0);
+  std::vector<std::uint32_t> got;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point p{rng.uniform(-3000.0, 8000.0), rng.uniform(-2000.0, 6000.0)};
+    const double radius = rng.uniform(0.0, 4000.0);
+    index.query(p, radius, got);
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < towers.size(); ++i) {
+      if (distance(towers[i].position, p) <= radius) want.push_back(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(ScanStats, IndexPrunesOnTheFullCity) {
+  Rng rng(11);
+  const auto towers = deploy_towers({{0.0, 0.0}, {7000.0, 4000.0}},
+                                    DeploymentConfig{}, rng);
+  const RadioEnvironment env(towers, PropagationConfig{}, 99);
+  const CellScanner scanner;
+  Rng scan_rng(3);
+  ScanStats total{};
+  for (int s = 0; s < 20; ++s) {
+    ScanStats stats;
+    const Point p{scan_rng.uniform(0.0, 7000.0), scan_rng.uniform(0.0, 4000.0)};
+    (void)scanner.scan(env, p, scan_rng, false, &stats);
+    total.towers += stats.towers;
+    total.candidates += stats.candidates;
+    total.sampled += stats.sampled;
+  }
+  EXPECT_LT(total.candidates, total.towers);
+  // The per-tower RSS upper bound is the big lever: only towers near the
+  // phone ever get a temporal deviate drawn.
+  EXPECT_LT(total.sampled, total.towers / 4);
+}
+
+// --------------------------------------------------- Goertzel bank identity
+
+TEST(GoertzelBank, MatchesScalarGoertzelWithinTolerance) {
+  Rng rng(21);
+  const double fs = 8000.0;
+  const std::vector<double> tones{700.0, 1000.0, 2400.0, 3000.0, 3900.0};
+  GoertzelBank bank(fs, tones);
+  ASSERT_EQ(bank.size(), tones.size());
+  std::vector<double> powers(tones.size());
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(16, 1024));
+    std::vector<float> frame(n);
+    const double f0 = rng.uniform(100.0, 3900.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      frame[i] = static_cast<float>(
+          rng.normal(0.0, 0.1) +
+          0.4 * std::sin(2.0 * std::numbers::pi * f0 * i / fs));
+    }
+    const double energy = bank.analyze(frame, powers);
+    double want_energy = 0.0;
+    for (float s : frame) want_energy += static_cast<double>(s) * s;
+    want_energy /= static_cast<double>(n);
+    EXPECT_NEAR(energy, want_energy, 1e-12 * std::abs(want_energy));
+    for (std::size_t k = 0; k < tones.size(); ++k) {
+      const double want = goertzel_power(frame, fs, tones[k]);
+      EXPECT_NEAR(powers[k], want, 1e-12 * std::max(1.0, std::abs(want)))
+          << "tone " << tones[k] << " trial " << trial;
+    }
+  }
+}
+
+TEST(GoertzelBank, ReusableAcrossFrames) {
+  const double fs = 8000.0;
+  const std::vector<double> tones{1000.0, 3000.0};
+  GoertzelBank bank(fs, tones);
+  std::vector<double> first(2), again(2);
+  std::vector<float> frame(240);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    frame[i] =
+        static_cast<float>(std::sin(2.0 * std::numbers::pi * 1000.0 * i / fs));
+  }
+  bank.analyze(frame, first);
+  std::vector<float> other(100, 0.25f);
+  bank.analyze(other, again);  // state must reset between frames
+  bank.analyze(frame, again);
+  EXPECT_EQ(first[0], again[0]);
+  EXPECT_EQ(first[1], again[1]);
+}
+
+// ------------------------------------------------------ ring-buffer window
+
+TEST(RingWindow, MatchesBruteForceStatsOverAStream) {
+  Rng rng(31);
+  RingWindow win(7);
+  std::vector<double> history;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    win.push(x);
+    history.push_back(x);
+    const std::size_t n = std::min<std::size_t>(7, history.size());
+    double mean = 0.0;
+    for (std::size_t k = history.size() - n; k < history.size(); ++k) {
+      mean += history[k];
+    }
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t k = history.size() - n; k < history.size(); ++k) {
+      var += (history[k] - mean) * (history[k] - mean);
+    }
+    var /= static_cast<double>(n);
+    ASSERT_EQ(win.size(), n);
+    EXPECT_NEAR(win.mean(), mean, 1e-9);
+    EXPECT_NEAR(win.variance(), var, 1e-9);
+  }
+  win.clear();
+  EXPECT_EQ(win.size(), 0u);
+  EXPECT_EQ(win.mean(), 0.0);
+}
+
+// ----------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Reusable for several jobs, including empty and single-element ones.
+  pool.parallel_for(0, [&](std::size_t) { FAIL(); });
+  std::atomic<int> one{0};
+  pool.parallel_for(1, [&](std::size_t) { one.fetch_add(1); });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i % 7 == 3) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives and keeps working after a throwing job.
+  std::atomic<int> count{0};
+  pool.parallel_for(32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+// --------------------------------------- parallel trip driver determinism
+
+void expect_trips_identical(const std::vector<AnnotatedTrip>& a,
+                            const std::vector<AnnotatedTrip>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].upload.samples.size(), b[i].upload.samples.size()) << i;
+    for (std::size_t s = 0; s < a[i].upload.samples.size(); ++s) {
+      EXPECT_EQ(a[i].upload.samples[s].time, b[i].upload.samples[s].time);
+      EXPECT_EQ(a[i].upload.samples[s].fingerprint.cells,
+                b[i].upload.samples[s].fingerprint.cells);
+    }
+    EXPECT_EQ(a[i].truth.route_id, b[i].truth.route_id);
+    EXPECT_EQ(a[i].truth.sample_stops, b[i].truth.sample_stops);
+  }
+}
+
+TEST(ParallelTrips, BitIdenticalAtAnyThreadCount) {
+  WorldConfig cfg;
+  cfg.city.route_names = {"79", "243", "99"};
+  cfg.city.width_m = 5000.0;
+  cfg.city.height_m = 3000.0;
+  cfg.seed = 77;
+  const World world(cfg);
+  const auto specs = world.make_trip_specs(0, 24, 2026);
+  ASSERT_EQ(specs.size(), 24u);
+  for (const World::TripSpec& spec : specs) {
+    EXPECT_NE(spec.route, kInvalidRoute);
+    EXPECT_LT(spec.board, spec.alight);
+  }
+
+  const auto serial = world.simulate_trips(specs, 555, nullptr);
+  int with_samples = 0;
+  for (const AnnotatedTrip& t : serial) with_samples += !t.upload.empty();
+  EXPECT_GE(with_samples, 16);  // the workload is not degenerate
+
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const auto parallel = world.simulate_trips(specs, 555, &pool);
+    expect_trips_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelTrips, SpecStreamsAreOrderIndependent) {
+  WorldConfig cfg;
+  cfg.city.route_names = {"79", "243"};
+  cfg.city.width_m = 4000.0;
+  cfg.city.height_m = 2500.0;
+  const World world(cfg);
+  // A prefix of a longer workload is the same workload: spec i depends only
+  // on (seed, i).
+  const auto small = world.make_trip_specs(0, 8, 99);
+  const auto large = world.make_trip_specs(0, 32, 99);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].route, large[i].route);
+    EXPECT_EQ(small[i].board, large[i].board);
+    EXPECT_EQ(small[i].alight, large[i].alight);
+    EXPECT_EQ(small[i].depart, large[i].depart);
+  }
+}
+
+// ----------------------------------------- audio chain through the pool
+
+TEST(ParallelAudio, DetectorChainsAreIndependentAcrossThreads) {
+  // Several rides' cabin audio analysed concurrently (one detector each)
+  // must reproduce the serial event streams exactly.
+  constexpr int kRides = 6;
+  std::vector<std::vector<float>> audio(kRides);
+  for (int r = 0; r < kRides; ++r) {
+    Rng rng(100 + r);
+    audio[static_cast<std::size_t>(r)] = synthesize_bus_audio(
+        AudioEnvironmentConfig{}, 6.0, {1.0, 2.5, 4.0 + 0.2 * r}, rng);
+  }
+  std::vector<std::vector<BeepEvent>> serial(kRides), parallel(kRides);
+  for (int r = 0; r < kRides; ++r) {
+    BeepDetector detector;
+    serial[static_cast<std::size_t>(r)] =
+        detector.process(audio[static_cast<std::size_t>(r)]);
+  }
+  ThreadPool pool(4);
+  pool.parallel_for(kRides, [&](std::size_t r) {
+    BeepDetector detector;
+    parallel[r] = detector.process(audio[r]);
+  });
+  for (int r = 0; r < kRides; ++r) {
+    const auto& a = serial[static_cast<std::size_t>(r)];
+    const auto& b = parallel[static_cast<std::size_t>(r)];
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_GE(a.size(), 3u);
+    for (std::size_t e = 0; e < a.size(); ++e) {
+      EXPECT_EQ(a[e].time, b[e].time);
+      EXPECT_EQ(a[e].strength, b[e].strength);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bussense
