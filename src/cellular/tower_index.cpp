@@ -37,8 +37,22 @@ TowerIndex::TowerIndex(const std::vector<CellTower>& towers, double cell_m)
       gy1 = std::max(gy1, gy);
     }
   }
-  nx_ = static_cast<std::size_t>(gx1 - gx0_ + 1);
-  ny_ = static_cast<std::size_t>(gy1 - gy0_ + 1);
+  // A single outlier coordinate makes the bounding-box grid area — and the
+  // CSR offset allocation — quadratic in the outlier distance. Cap the cell
+  // count relative to the tower count and fall back to a linear scan for
+  // such degenerate deployments (checked spanx-first so the product below
+  // cannot overflow).
+  const std::int64_t spanx = gx1 - gx0_ + 1;
+  const std::int64_t spany = gy1 - gy0_ + 1;
+  const auto max_cells = std::max<std::int64_t>(
+      4096, 64 * static_cast<std::int64_t>(positions_.size()));
+  if (spanx > max_cells || spany > max_cells / spanx) {
+    brute_ = true;
+    cell_start_.assign(1, 0);
+    return;
+  }
+  nx_ = static_cast<std::size_t>(spanx);
+  ny_ = static_cast<std::size_t>(spany);
 
   // Counting sort into CSR: ascending tower index within each cell because
   // the fill pass walks towers in order.
@@ -63,6 +77,15 @@ void TowerIndex::query(Point p, double radius_m,
                        std::vector<std::uint32_t>& out) const {
   out.clear();
   if (positions_.empty() || radius_m < 0.0) return;
+  if (brute_) {
+    const double r2 = radius_m * radius_m;
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+      const double dx = positions_[i].x - p.x;
+      const double dy = positions_[i].y - p.y;
+      if (dx * dx + dy * dy <= r2) out.push_back(static_cast<std::uint32_t>(i));
+    }
+    return;  // walked in tower order, so already ascending
+  }
   const std::int64_t cx0 =
       std::max(grid_floor(p.x - radius_m, cell_m_), gx0_);
   const std::int64_t cy0 =

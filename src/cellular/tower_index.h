@@ -37,6 +37,7 @@ class TowerIndex {
   double cell_m_;
   std::int64_t gx0_ = 0, gy0_ = 0;  ///< grid origin cell
   std::size_t nx_ = 0, ny_ = 0;     ///< grid extent in cells
+  bool brute_ = false;  ///< bounding box too sparse for a grid; scan linearly
   std::vector<std::uint32_t> cell_start_;  ///< CSR offsets, nx_*ny_ + 1
   std::vector<std::uint32_t> entries_;     ///< tower indices, cell-major
   std::vector<Point> positions_;           ///< tower positions by index

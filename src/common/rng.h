@@ -50,9 +50,19 @@ class Rng {
     return std::exponential_distribution<double>(1.0 / mean)(engine_);
   }
 
-  /// Poisson with the given mean.
+  /// Poisson with the given mean. libstdc++'s large-mean (>= 12) rejection
+  /// path calls lgamma(), which writes glibc's process-global `signgam` — a
+  /// data race once trips simulate in parallel — so large means are shaved
+  /// down by exact Poisson additivity (Pois(a+b) = Pois(a) + Pois(b)) until
+  /// the lgamma-free product method handles the remainder. Means below 12
+  /// draw exactly as before.
   int poisson(double mean) {
-    return std::poisson_distribution<int>(mean)(engine_);
+    int n = 0;
+    while (mean >= 12.0) {
+      n += std::poisson_distribution<int>(8.0)(engine_);
+      mean -= 8.0;
+    }
+    return n + std::poisson_distribution<int>(mean)(engine_);
   }
 
   /// Bernoulli trial with success probability p.

@@ -6,6 +6,13 @@
 // bit-identical to calling body(0..n-1) serially, at any thread count.
 // Workers sleep between jobs; the submitting thread participates in the
 // work, so a pool of size 1 degrades to a plain loop.
+//
+// Each parallel_for publishes a heap-allocated Job record that workers pin
+// with a shared_ptr before touching it. A worker that is still draining the
+// claim loop of job N when job N+1 is published keeps operating on job N's
+// counters (where every remaining claim is a no-op), so back-to-back
+// parallel_for calls on one pool never race a straggler from the previous
+// job against the new one.
 #pragma once
 
 #include <atomic>
@@ -14,6 +21,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -55,52 +63,62 @@ class ThreadPool {
       for (std::size_t i = 0; i < n; ++i) body(i);
       return;
     }
+    auto job = std::make_shared<Job>(body, n);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      body_ = &body;
-      total_ = n;
-      next_.store(0, std::memory_order_relaxed);
-      remaining_.store(n, std::memory_order_relaxed);
-      error_ = nullptr;
+      job_ = job;
       ++epoch_;
     }
     work_cv_.notify_all();
-    run_job(body);
+    run_job(*job);
     std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] {
-      return remaining_.load(std::memory_order_acquire) == 0;
+    done_cv_.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
     });
-    body_ = nullptr;
-    if (error_) std::rethrow_exception(error_);
+    if (job_ == job) job_ = nullptr;
+    if (job->error) std::rethrow_exception(job->error);
   }
 
  private:
+  /// One parallel_for invocation. `body` outlives the record because the
+  /// submitting thread blocks until `remaining` hits zero, and no index
+  /// below `total` can be claimed once all of them have finished.
+  struct Job {
+    Job(const std::function<void(std::size_t)>& b, std::size_t n)
+        : body(&b), total(n), remaining(n) {}
+    const std::function<void(std::size_t)>* body;
+    std::size_t total;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining;
+    std::exception_ptr error;  ///< guarded by the pool mutex_
+  };
+
   void worker_loop() {
     std::uint64_t seen = 0;
     for (;;) {
-      const std::function<void(std::size_t)>* body = nullptr;
+      std::shared_ptr<Job> job;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
         if (stop_) return;
         seen = epoch_;
-        body = body_;
+        job = job_;
       }
-      if (body) run_job(*body);
+      if (job) run_job(*job);
     }
   }
 
-  void run_job(const std::function<void(std::size_t)>& body) {
+  void run_job(Job& job) {
     for (;;) {
-      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total_) return;
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.total) return;
       try {
-        body(i);
+        (*job.body)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (!error_) error_ = std::current_exception();
+        if (!job.error) job.error = std::current_exception();
       }
-      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(mutex_);
         done_cv_.notify_all();
       }
@@ -111,11 +129,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* body_ = nullptr;
-  std::size_t total_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::atomic<std::size_t> remaining_{0};
-  std::exception_ptr error_;
+  std::shared_ptr<Job> job_;
   std::uint64_t epoch_ = 0;
   bool stop_ = false;
 };

@@ -34,6 +34,11 @@ class RingWindow {
     head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
     sum_ += x;
     sum2_ += x * x;
+    // The add/subtract form accumulates cancellation error without bound
+    // over a long stream; rebuilding the moments from the buffer each time
+    // the ring wraps keeps the drift O(capacity) deep while staying O(1)
+    // amortised per push.
+    if (head_ == 0 && size_ == buf_.size()) recompute_moments();
   }
 
   std::size_t size() const { return size_; }
@@ -60,6 +65,15 @@ class RingWindow {
   }
 
  private:
+  void recompute_moments() {
+    sum_ = sum2_ = 0.0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      const double v = buf_[i];
+      sum_ += v;
+      sum2_ += v * v;
+    }
+  }
+
   std::vector<double> buf_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;

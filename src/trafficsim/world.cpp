@@ -230,6 +230,7 @@ AnnotatedTrip World::simulate_transfer_trip(const BusRoute& first, int board_a,
 std::vector<World::TripSpec> World::make_trip_specs(int day, std::size_t count,
                                                     std::uint64_t seed) const {
   std::vector<TripSpec> specs;
+  if (city_->routes().empty()) return specs;
   specs.reserve(count);
   const SimTime day0 = at_clock(day, 0);
   for (std::size_t i = 0; i < count; ++i) {
@@ -249,6 +250,9 @@ std::vector<World::TripSpec> World::make_trip_specs(int day, std::size_t count,
       spec.alight = std::min(spec.board + ride, n_stops - 1);
       break;
     }
+    // Every retry drew a route too short to ride: drop the spec rather
+    // than hand simulate_trips an invalid route id.
+    if (spec.route == kInvalidRoute) continue;
     spec.depart =
         day0 + rng.uniform(config_.service_start_h, config_.service_end_h - 0.5) *
                    kHour;

@@ -117,6 +117,33 @@ TEST(TowerIndex, QueryMatchesLinearScan) {
   }
 }
 
+TEST(TowerIndex, OutlierTowerFallsBackToLinearScan) {
+  // One tower 10,000 km away makes the bounding-box grid astronomically
+  // large; the index must fall back to a linear scan instead of allocating
+  // a CSR over the whole box, and queries must still be exact.
+  Rng rng(17);
+  std::vector<CellTower> towers;
+  for (int i = 0; i < 40; ++i) {
+    towers.push_back(CellTower{static_cast<CellId>(i),
+                               {rng.uniform(0.0, 5000.0),
+                                rng.uniform(0.0, 3000.0)},
+                               38.5});
+  }
+  towers.push_back(CellTower{999, {1.0e10, -1.0e10}, 38.5});
+  const TowerIndex index(towers, 750.0);
+  std::vector<std::uint32_t> got;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point p{rng.uniform(-1000.0, 6000.0), rng.uniform(-1000.0, 4000.0)};
+    const double radius = rng.uniform(0.0, 4000.0);
+    index.query(p, radius, got);
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < towers.size(); ++i) {
+      if (distance(towers[i].position, p) <= radius) want.push_back(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
 TEST(ScanStats, IndexPrunesOnTheFullCity) {
   Rng rng(11);
   const auto towers = deploy_towers({{0.0, 0.0}, {7000.0, 4000.0}},
@@ -232,6 +259,17 @@ TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
   std::atomic<int> one{0};
   pool.parallel_for(1, [&](std::size_t) { one.fetch_add(1); });
   EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ThreadPool, BackToBackJobsNeverLoseWork) {
+  // Regression: a straggler still draining job N's claim loop must not be
+  // able to swallow an index of job N+1 (small n keeps that window wide).
+  ThreadPool pool(4);
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(3, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 3) << "round " << round;
+  }
 }
 
 TEST(ThreadPool, PropagatesTheFirstException) {
