@@ -22,7 +22,7 @@ double accuracy(const World& world, const TrafficServer& server,
     for (std::size_t i = 0; i < trip.upload.samples.size(); ++i) {
       truth[trip.upload.samples[i].time] = trip.truth.sample_stops[i];
     }
-    const MappedTrip mapped = server.map(server.cluster(matched));
+    const MappedTrip mapped = server.map_trip(server.cluster_samples(matched));
     for (const MappedCluster& mc : mapped.stops) {
       std::map<StopId, int> votes;
       for (const MatchedSample& m : mc.cluster.members) {
@@ -81,8 +81,8 @@ void report() {
         Variant{"no clustering (A5)", false, true},
         Variant{"neither (raw per-sample)", false, false}}) {
     ServerConfig cfg;
-    cfg.enable_clustering = v.clustering;
-    cfg.enable_trip_mapping = v.mapping;
+    cfg.stages.clustering = v.clustering;
+    cfg.stages.trip_mapping = v.mapping;
     TrafficServer nominal_server(bed.world.city(), bed.database, cfg);
     TrafficServer stressed_server(stressed.city(), stressed_db, cfg);
     t.add_row(v.name, {accuracy(bed.world, nominal_server, nominal.trips),
@@ -100,9 +100,9 @@ void BM_MapTrip(benchmark::State& state) {
   const BusRoute& route = *bed.world.city().route_by_name("252", 0);
   const AnnotatedTrip trip =
       bed.world.simulate_single_trip(route, 1, 15, at_clock(0, 9, 0), rng);
-  const auto clusters = server.cluster(server.match_samples(trip.upload));
+  const auto clusters = server.cluster_samples(server.match_samples(trip.upload));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(server.map(clusters));
+    benchmark::DoNotOptimize(server.map_trip(clusters));
   }
 }
 BENCHMARK(BM_MapTrip);

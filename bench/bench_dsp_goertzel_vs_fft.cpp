@@ -114,7 +114,7 @@ void sensing_report() {
     bool first = true;
     for (const ScanCity& city : scan_cities()) {
       ScannerConfig brute_cfg;
-      brute_cfg.use_index = false;
+      brute_cfg.accel.use_index = false;
       const CellScanner indexed{ScannerConfig{}};
       const CellScanner brute{brute_cfg};
       // Untimed instrumented pass for the work counters.
@@ -126,7 +126,7 @@ void sensing_report() {
           const Point p{pos_rng.uniform(0.0, city.width),
                         pos_rng.uniform(0.0, city.height)};
           (void)indexed.scan(*city.env, p, scan_rng, i % 2, &s);
-          total.candidates += s.candidates;
+          total.reach_candidates += s.reach_candidates;
         }
       }
       // Fewer timed scans on the bigger deployments (brute force is slow
@@ -136,7 +136,7 @@ void sensing_report() {
       const double brute_sps = time_scans(brute, city, scans);
       const double indexed_sps = time_scans(indexed, city, scans);
       const double speedup = indexed_sps / std::max(brute_sps, 1e-9);
-      const double cand = static_cast<double>(total.candidates) / 200.0;
+      const double cand = static_cast<double>(total.reach_candidates) / 200.0;
       t.add_row({city.label, std::to_string(city.towers.size()), fmt(cand, 1),
                  fmt(brute_sps, 0), fmt(indexed_sps, 0),
                  fmt(speedup, 1) + "x"});
@@ -369,7 +369,7 @@ BENCHMARK(BM_GoertzelBankWindow)->Arg(80)->Arg(240)->Arg(1024);
 void BM_ScanFullCity(benchmark::State& state) {
   const ScanCity& city = scan_cities()[1];
   ScannerConfig cfg;
-  cfg.use_index = state.range(0) != 0;
+  cfg.accel.use_index = state.range(0) != 0;
   const CellScanner scanner(cfg);
   Rng pos_rng(7), scan_rng(8);
   for (auto _ : state) {

@@ -1,0 +1,210 @@
+// Ingest service throughput, latency and metrics overhead.
+//
+// Three questions a deployment asks of the async front end:
+//
+//   1. sustained throughput — trips/second through the bounded queue for
+//      1/2/4/8 workers at two queue depths (kBlock, lossless);
+//   2. enqueue-to-fused latency — the p50/p99 of the service's own
+//      ingest.queue_latency_s histogram, i.e. the time from a producer
+//      handing over an upload until its estimates reach the fusion layer;
+//   3. observability cost — serial-server throughput with the metrics
+//      layer on vs off (the instruments are relaxed atomics; the contract
+//      is <= 5% overhead).
+//
+// Emits BENCH_ingest.json with all three.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/ingest_service.h"
+
+namespace bussense::bench {
+namespace {
+
+struct Fmt {
+  static std::string fixed(double v, int prec) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(prec);
+    os << v;
+    return os.str();
+  }
+};
+
+std::vector<AnnotatedTrip>& bench_trips() {
+  static std::vector<AnnotatedTrip> trips = [] {
+    const Testbed& bed = testbed();
+    ThreadPool pool(std::thread::hardware_concurrency());
+    const auto specs = bed.world.make_trip_specs(0, 360, 91);
+    return bed.world.simulate_trips(specs, 91, &pool);
+  }();
+  return trips;
+}
+
+// Replays every trip through the service from `producers` producer threads
+// and returns {trips/s, p50 latency s, p99 latency s}.
+struct RunResult {
+  double trips_per_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+};
+
+RunResult run_service(std::size_t workers, std::size_t capacity, int rounds) {
+  const Testbed& bed = testbed();
+  const auto& trips = bench_trips();
+  IngestServiceConfig svc;
+  svc.workers = workers;
+  svc.queue_capacity = capacity;
+  svc.backpressure = IngestServiceConfig::Backpressure::kBlock;
+  IngestService service(bed.world.city(), bed.database, {}, svc);
+
+  const int producers = 2;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int p = 0; p < producers; ++p) {
+    pool.emplace_back([&, p] {
+      for (int r = 0; r < rounds; ++r) {
+        for (std::size_t i = static_cast<std::size_t>(p); i < trips.size();
+             i += producers) {
+          service.process_trip(trips[i].upload);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  service.drain();
+  const double elapsed = seconds_since(start);
+
+  RunResult out;
+  out.trips_per_s =
+      rounds * static_cast<double>(trips.size()) / std::max(elapsed, 1e-9);
+  const auto lat =
+      service.metrics().snapshot().histograms.at("ingest.queue_latency_s");
+  out.p50_s = lat.percentile(0.50);
+  out.p99_s = lat.percentile(0.99);
+  return out;
+}
+
+// One timed serial replay; returns trips/s.
+double serial_round(bool metrics_on) {
+  const Testbed& bed = testbed();
+  const auto& trips = bench_trips();
+  ServerConfig cfg;
+  cfg.obs.enabled = metrics_on;
+  TrafficServer server(bed.world.city(), bed.database, cfg);
+  const auto start = std::chrono::steady_clock::now();
+  for (const AnnotatedTrip& trip : trips) server.process_trip(trip.upload);
+  return static_cast<double>(trips.size()) /
+         std::max(seconds_since(start), 1e-9);
+}
+
+// Metrics-on vs metrics-off throughput, best of `rounds` with the two
+// configurations interleaved (and a discarded warmup) so cache warmup and
+// scheduling noise hit both sides alike.
+std::pair<double, double> serial_on_off_trips_per_s(int rounds) {
+  (void)serial_round(false);
+  (void)serial_round(true);
+  double best_off = 0.0, best_on = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    best_off = std::max(best_off, serial_round(false));
+    best_on = std::max(best_on, serial_round(true));
+  }
+  return {best_on, best_off};
+}
+
+void report() {
+  JsonReport json;
+  const std::size_t n_trips = bench_trips().size();
+  std::cout << "workload: " << n_trips << " trips on the default city\n";
+
+  print_banner(std::cout, "Ingest service: sustained throughput & latency");
+  Table t({"workers", "queue", "trips/s", "p50 enq->fused", "p99 enq->fused"});
+  std::ostringstream rows;
+  bool first = true;
+  for (const std::size_t capacity : {64u, 4096u}) {
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+      const RunResult r = run_service(workers, capacity, 3);
+      t.add_row({std::to_string(workers), std::to_string(capacity),
+                 Fmt::fixed(r.trips_per_s, 0),
+                 Fmt::fixed(1e6 * r.p50_s, 1) + " us",
+                 Fmt::fixed(1e6 * r.p99_s, 1) + " us"});
+      if (!first) rows << ", ";
+      first = false;
+      rows << "{\"workers\": " << workers << ", \"queue_capacity\": " << capacity
+           << ", \"trips_per_s\": " << num(r.trips_per_s)
+           << ", \"p50_enqueue_to_fused_s\": " << num(r.p50_s)
+           << ", \"p99_enqueue_to_fused_s\": " << num(r.p99_s) << "}";
+    }
+  }
+  t.print(std::cout);
+  json.field("\"service\": [" + rows.str() + "]");
+
+  print_banner(std::cout, "Metrics layer overhead (serial server)");
+  const auto [on, off] = serial_on_off_trips_per_s(4);
+  const double overhead = off > 0.0 ? (off - on) / off : 0.0;
+  Table ot({"observability", "trips/s"});
+  ot.add_row({"off", Fmt::fixed(off, 0)});
+  ot.add_row({"on", Fmt::fixed(on, 0)});
+  ot.print(std::cout);
+  std::cout << "overhead: " << Fmt::fixed(100.0 * overhead, 2)
+            << "% (relaxed-atomic instruments + per-stage clock reads)\n";
+  json.field("\"metrics_overhead\": {\"trips_per_s_off\": " + num(off) +
+             ", \"trips_per_s_on\": " + num(on) +
+             ", \"overhead_fraction\": " + num(overhead) + "}");
+
+  json.write("BENCH_ingest.json");
+  std::cout << "wrote BENCH_ingest.json\n";
+}
+
+void BM_IngestServiceProcessTrip(benchmark::State& state) {
+  const Testbed& bed = testbed();
+  const auto& trips = bench_trips();
+  IngestServiceConfig svc;
+  svc.workers = static_cast<std::size_t>(state.range(0));
+  svc.queue_capacity = 256;
+  IngestService service(bed.world.city(), bed.database, {}, svc);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    service.process_trip(trips[i % trips.size()].upload);
+    ++i;
+  }
+  service.drain();
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_IngestServiceProcessTrip)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    c.inc();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  MetricsRegistry reg;
+  BucketHistogram& h = reg.histogram("bench.hist");
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.record(v);
+    v = v < 1.0 ? v * 1.7 : 1e-6;  // sweep the bucket ladder
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_MetricsHistogramRecord);
+
+}  // namespace
+}  // namespace bussense::bench
+
+int main(int argc, char** argv) {
+  bussense::bench::report();
+  return bussense::bench::run_benchmarks(argc, argv);
+}

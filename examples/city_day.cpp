@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "core/google_indicator.h"
+#include "core/ingest_service.h"
 #include "core/svg_map.h"
 #include "core/server.h"
 #include "core/stop_database.h"
@@ -27,7 +28,14 @@ int main(int argc, char** argv) {
   StopDatabase db = build_stop_database(
       city, [&](StopId s, int run) { return world.scan_stop(s, survey, run % 2); },
       5);
-  TrafficServer server(city, std::move(db));
+  // Uploads flow through the asynchronous ingest front end — a bounded
+  // queue drained by a small worker pool. The rest of the example only
+  // talks to the TrafficIngestor interface, and the maps it prints are
+  // bit-identical to the serial TrafficServer (determinism contract).
+  IngestServiceConfig svc;
+  svc.workers = ThreadPool::default_concurrency(4);
+  IngestService service(city, std::move(db), {}, svc);
+  TrafficIngestor& server = service;
 
   std::cout << "bus-route coverage of the road network: "
             << 100.0 * city.coverage_ratio() << "%\n";
@@ -75,5 +83,11 @@ int main(int argc, char** argv) {
   write_svg_map(server.snapshot(final_time, 3.0 * kHour), server.catalog(),
                 svg_path);
   std::cout << "wrote " << svg_path << "\n";
+
+  const MetricsSnapshot ms = server.metrics().snapshot();
+  std::cout << "pipeline p99 trip latency: "
+            << 1e6 * ms.histograms.at("pipeline.trip_s").percentile(0.99)
+            << " us, samples matched: "
+            << ms.counters.at("pipeline.samples_matched") << "\n";
   return 0;
 }

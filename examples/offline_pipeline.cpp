@@ -9,10 +9,15 @@
 //   3. server  — load both files and produce the traffic estimates
 //
 // Run:  ./offline_pipeline [workdir]
+//
+// The backend stage runs behind the TrafficIngestor interface: swap the
+// IngestService below for a plain TrafficServer and the estimates are
+// bit-identical (the interface's determinism contract).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include "core/ingest_service.h"
 #include "core/serialization.h"
 #include "core/server.h"
 #include "core/stop_database.h"
@@ -57,19 +62,35 @@ int main(int argc, char** argv) {
 
   // --- 3. the backend server --------------------------------------------
   {
-    TrafficServer server(city, load_stop_database(db_path));
+    // Async front end: uploads land in a bounded queue and a worker pool
+    // runs the pipeline. Everything below the construction line only sees
+    // the TrafficIngestor interface.
+    IngestServiceConfig svc;
+    svc.workers = 2;
+    svc.queue_capacity = 256;
+    IngestService service(city, load_stop_database(db_path), {}, svc);
+    TrafficIngestor& server = service;
+
     std::ifstream is(trips_path);
     const auto uploads = load_trips(is);
-    std::size_t estimates = 0;
+    std::size_t queued = 0;
     for (const TripUpload& trip : uploads) {
-      estimates += server.process_trip(trip).estimates.size();
+      if (server.process_trip(trip).accepted()) ++queued;
     }
-    server.advance_time(at_clock(0, 23, 0));
+    server.advance_time(at_clock(0, 23, 0));  // drains the queue first
     const TrafficMap map = server.snapshot(at_clock(0, 18, 0), 3 * kHour);
-    std::cout << "server: processed " << uploads.size() << " trips, "
-              << estimates << " segment estimates, evening map covers "
+    const MetricsSnapshot ms = server.metrics().snapshot();
+    std::cout << "server: accepted " << queued << "/" << uploads.size()
+              << " trips, " << ms.counters.at("pipeline.estimates")
+              << " segment estimates, evening map covers "
               << 100.0 * map.coverage_ratio(server.catalog())
               << "% of the road network\n";
+
+    // The observability layer sees every stage; persist it for operators.
+    const std::string metrics_path = (dir / "metrics.json").string();
+    std::ofstream(metrics_path) << server.metrics().to_json() << "\n";
+    std::cout << "server: metrics (queue depth, per-stage latency) in "
+              << metrics_path << "\n";
   }
   std::cout << "artifacts left in " << dir << "\n";
   return 0;

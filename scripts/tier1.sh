@@ -3,6 +3,21 @@
 # repository root. Bench ctest registration is off by default, so this stays
 # the fast gate; run the benches separately with
 #   cmake -B build -S . -DBUSSENSE_BENCH_TESTS=ON && ctest --test-dir build -L bench
+#
+# Optional ThreadSanitizer stage: BUSSENSE_SANITIZE=ON ./scripts/tier1.sh
+# additionally builds the concurrency-sensitive suites (the concurrent
+# server and the async ingest service) under TSan in build-tsan/ and runs
+# the binaries directly. Off by default -- TSan builds are ~10x slower.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
+
+if [[ "${BUSSENSE_SANITIZE:-}" == "ON" ]]; then
+  echo "==== tier-1 extra: ThreadSanitizer (test_concurrency, test_ingest_service) ===="
+  cmake -B build-tsan -S . -DBUSSENSE_SANITIZE=thread
+  cmake --build build-tsan -j --target test_concurrency test_ingest_service
+  # Run the binaries directly: a partial TSan build registers no stale
+  # ctest placeholders for the targets we skipped.
+  ./build-tsan/tests/test_concurrency
+  ./build-tsan/tests/test_ingest_service
+fi

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace bussense {
 
@@ -16,6 +17,30 @@ bool index_usable(const RadioEnvironment& env) {
 
 }  // namespace
 
+void ScannerConfig::validate() const {
+  if (max_towers == 0) {
+    throw std::invalid_argument("ScannerConfig: max_towers must be >= 1");
+  }
+  if (!(in_bus_noise_db >= 0.0)) {
+    throw std::invalid_argument("ScannerConfig: in_bus_noise_db must be >= 0");
+  }
+  if (!std::isfinite(sensitivity_dbm)) {
+    throw std::invalid_argument("ScannerConfig: sensitivity_dbm must be finite");
+  }
+}
+
+void CellScanner::bind_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    scans_ = considered_ = reach_ = pruned_ = accepted_ = nullptr;
+    return;
+  }
+  scans_ = &registry->counter("scanner.scans");
+  considered_ = &registry->counter("scanner.towers_considered");
+  reach_ = &registry->counter("scanner.reach_candidates");
+  pruned_ = &registry->counter("scanner.towers_pruned");
+  accepted_ = &registry->counter("scanner.towers_accepted");
+}
+
 std::vector<CellObservation> CellScanner::scan(const RadioEnvironment& env,
                                                Point p, Rng& rng, bool in_bus,
                                                ScanStats* stats) const {
@@ -23,14 +48,17 @@ std::vector<CellObservation> CellScanner::scan(const RadioEnvironment& env,
   // One engine draw keys every tower's temporal deviate for this scan, so
   // the caller's rng stream advances identically on both paths.
   const std::uint64_t scan_key = rng.engine()();
-  if (stats) stats->towers = env.towers().size();
+
+  ScanStats local;
+  const bool counting = stats != nullptr || scans_ != nullptr;
+  local.towers_considered = env.towers().size();
 
   std::vector<CellObservation> seen;
-  if (config_.use_index && index_usable(env)) {
+  if (config_.accel.use_index && index_usable(env)) {
     thread_local std::vector<std::uint32_t> candidates;
     env.tower_index().query(
         p, env.max_reach_radius_m(config_.sensitivity_dbm, extra), candidates);
-    if (stats) stats->candidates = candidates.size();
+    local.reach_candidates = candidates.size();
     const double noise_bound =
         env.config().noise_clamp_sigmas *
         std::hypot(env.config().temporal_sigma_db, extra);
@@ -42,20 +70,31 @@ std::vector<CellObservation> CellScanner::scan(const RadioEnvironment& env,
       // is free of side effects because the deviate is counter-based.
       const double mean = env.mean_rss_dbm(tower, p);
       if (mean + noise_bound < config_.sensitivity_dbm) continue;
-      if (stats) ++stats->sampled;
+      ++local.towers_accepted;
       const double rss = mean + env.temporal_noise_db(tower.id, scan_key, extra);
       if (rss >= config_.sensitivity_dbm) {
         seen.push_back(CellObservation{tower.id, rss});
       }
     }
   } else {
-    if (stats) stats->candidates = env.towers().size();
+    local.reach_candidates = env.towers().size();
     for (const CellTower& tower : env.towers()) {
-      if (stats) ++stats->sampled;
+      ++local.towers_accepted;
       const double rss = env.sample_rss_dbm(tower, p, scan_key, extra);
       if (rss >= config_.sensitivity_dbm) {
         seen.push_back(CellObservation{tower.id, rss});
       }
+    }
+  }
+  if (counting) {
+    local.towers_pruned = local.towers_considered - local.towers_accepted;
+    if (stats) *stats = local;
+    if (scans_) {
+      scans_->inc();
+      considered_->add(local.towers_considered);
+      reach_->add(local.reach_candidates);
+      pruned_->add(local.towers_pruned);
+      accepted_->add(local.towers_accepted);
     }
   }
   std::sort(seen.begin(), seen.end(),

@@ -10,7 +10,7 @@
 // upper bound before drawing the (counter-based, clamped) temporal deviate,
 // and is bit-identical to the brute-force loop over every deployed tower —
 // any skipped tower provably cannot clear the sensitivity threshold.
-// `use_index = false` keeps the brute-force scan for the ablations.
+// `accel.use_index = false` keeps the brute-force scan for the ablations.
 #pragma once
 
 #include <vector>
@@ -18,6 +18,7 @@
 #include "cellular/fingerprint.h"
 #include "cellular/radio_environment.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace bussense {
 
@@ -27,22 +28,46 @@ struct ScannerConfig {
   /// Additional per-scan RSS spread when the phone is inside a bus (body
   /// and vehicle attenuation varies with seating position).
   double in_bus_noise_db = 1.8;
-  /// Scan via the spatial tower index. Falls back to the full loop
-  /// automatically when the reach bound is unsound (non-positive path-loss
-  /// exponent or noise clamp).
-  bool use_index = true;
+
+  /// Fast-path switches (DESIGN.md §7). Grouped so ablations flip one
+  /// documented knob instead of a loose boolean.
+  struct Acceleration {
+    /// Scan via the spatial tower index. Falls back to the full loop
+    /// automatically when the reach bound is unsound (non-positive
+    /// path-loss exponent or noise clamp).
+    bool use_index = true;
+  };
+  Acceleration accel;
+
+  /// Throws std::invalid_argument on nonsense (zero neighbour capacity,
+  /// negative in-bus noise, non-finite sensitivity). Called by CellScanner.
+  void validate() const;
 };
 
-/// Per-call work counters (benches report candidates/scan).
+/// Per-call work counters. Follows the repo-wide stats convention:
+/// `*_considered` (total work the brute-force path would do), `*_pruned`
+/// (work the fast path provably skipped), `*_accepted` (work actually
+/// done), with reset()/merge() for aggregation — see MatchStats.
 struct ScanStats {
-  std::size_t towers = 0;      ///< deployed towers
-  std::size_t candidates = 0;  ///< towers inside the reach disk
-  std::size_t sampled = 0;     ///< candidates whose temporal deviate was drawn
+  std::size_t towers_considered = 0;  ///< deployed towers
+  std::size_t reach_candidates = 0;   ///< towers inside the reach disk
+  std::size_t towers_pruned = 0;      ///< skipped before the temporal draw
+  std::size_t towers_accepted = 0;    ///< temporal deviate actually drawn
+
+  void reset() { *this = ScanStats{}; }
+  void merge(const ScanStats& other) {
+    towers_considered += other.towers_considered;
+    reach_candidates += other.reach_candidates;
+    towers_pruned += other.towers_pruned;
+    towers_accepted += other.towers_accepted;
+  }
 };
 
 class CellScanner {
  public:
-  explicit CellScanner(ScannerConfig config = {}) : config_(config) {}
+  explicit CellScanner(ScannerConfig config = {}) : config_(config) {
+    config_.validate();
+  }
 
   /// Scans at `p`. `in_bus` adds the in-bus noise term. Result is sorted by
   /// descending RSS (ties by ascending cell id). Consumes exactly one draw
@@ -56,10 +81,24 @@ class CellScanner {
                                bool in_bus = false,
                                ScanStats* stats = nullptr) const;
 
+  /// Accumulates every scan's ScanStats into `registry` (counters
+  /// `scanner.scans`, `scanner.towers_considered/pruned/accepted`,
+  /// `scanner.reach_candidates`). Counter updates are lock-free, so bound
+  /// scanners stay safe to use from many threads; recording never affects
+  /// scan results. Pass nullptr to unbind.
+  void bind_metrics(MetricsRegistry* registry);
+
   const ScannerConfig& config() const { return config_; }
 
  private:
   ScannerConfig config_;
+  // Cached instrument handles (null when unbound). The registry outlives
+  // the scanner by contract.
+  Counter* scans_ = nullptr;
+  Counter* considered_ = nullptr;
+  Counter* reach_ = nullptr;
+  Counter* pruned_ = nullptr;
+  Counter* accepted_ = nullptr;
 };
 
 }  // namespace bussense

@@ -54,9 +54,22 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
 
+  /// Hardware concurrency clamped to [1, cap] — the shared default for
+  /// sizing pools in examples and benches (hardware_concurrency() may
+  /// report 0 on exotic platforms).
+  static unsigned default_concurrency(unsigned cap = 8) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned n = hw == 0 ? 1 : hw;
+    return n < cap ? n : cap;
+  }
+
   /// Runs body(0), …, body(n-1) across the pool and blocks until all have
   /// returned. The first exception thrown by a body is rethrown here (the
   /// remaining indices still run). Not reentrant.
+  ///
+  /// Bodies may be long-running service loops (the async ingest service
+  /// parks every worker in a drain loop until shutdown); the pool makes no
+  /// fairness assumptions — it only shards indices.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
     if (n == 0) return;
     if (workers_.empty() || n == 1) {

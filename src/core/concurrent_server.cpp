@@ -1,6 +1,7 @@
 #include "core/concurrent_server.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
@@ -14,14 +15,33 @@ std::atomic<std::uint64_t> g_next_server_id{1};
 
 }  // namespace
 
+void ConcurrentServerConfig::validate() const {
+  if (fusion_stripes == 0) {
+    throw std::invalid_argument(
+        "ConcurrentServerConfig: fusion_stripes must be > 0");
+  }
+  if (batch_flush_threshold == 0) {
+    throw std::invalid_argument(
+        "ConcurrentServerConfig: batch_flush_threshold must be > 0");
+  }
+}
+
 ConcurrentTrafficServer::ConcurrentTrafficServer(
     const City& city, StopDatabase database, ServerConfig config,
     ConcurrentServerConfig concurrency)
     : inner_(city, std::move(database), config),
-      concurrency_{std::max<std::size_t>(1, concurrency.fusion_stripes),
-                   std::max<std::size_t>(1, concurrency.batch_flush_threshold)},
-      fusion_(config.fusion, concurrency_.fusion_stripes),
-      server_id_(g_next_server_id.fetch_add(1, std::memory_order_relaxed)) {}
+      concurrency_(concurrency),
+      fusion_(config.fusion,
+              std::max<std::size_t>(1, concurrency.fusion_stripes)),
+      server_id_(g_next_server_id.fetch_add(1, std::memory_order_relaxed)) {
+  concurrency_.validate();
+  if (config.obs.enabled) {
+    MetricsRegistry& reg = inner_.metrics_registry();
+    inst_.trips = &reg.counter("pipeline.trips");
+    inst_.trip_s = &reg.histogram("pipeline.trip_s");
+    inst_.fold_s = &reg.histogram("fusion.fold_s");
+  }
+}
 
 ConcurrentTrafficServer::ThreadBatch& ConcurrentTrafficServer::local_batch() {
   // Per-thread cache: server id → this thread's batch slot. The slots
@@ -37,10 +57,10 @@ ConcurrentTrafficServer::ThreadBatch& ConcurrentTrafficServer::local_batch() {
   return *slot;
 }
 
-TrafficServer::TripReport ConcurrentTrafficServer::process_trip(
-    const TripUpload& trip) {
+TripReport ConcurrentTrafficServer::process_trip(const TripUpload& trip) {
+  const double start = inst_.trip_s ? monotonic_time_s() : 0.0;
   // Lock-free analysis against immutable state...
-  TrafficServer::TripReport report = inner_.analyze_trip(trip);
+  TripReport report = inner_.analyze_trip(trip);
   // ...then buffer the estimates thread-locally; the striped fusion is only
   // touched when a whole batch is ready.
   if (!report.estimates.empty()) {
@@ -54,10 +74,21 @@ TrafficServer::TripReport ConcurrentTrafficServer::process_trip(
         ready.swap(batch.pending);
       }
     }
-    if (!ready.empty()) fusion_.add_batch(ready);
+    if (!ready.empty()) fold_batch(ready);
   }
   trips_processed_.fetch_add(1, std::memory_order_relaxed);
+  if (inst_.trip_s) {
+    inst_.trip_s->record(monotonic_time_s() - start);
+    inst_.trips->inc();
+  }
   return report;
+}
+
+void ConcurrentTrafficServer::fold_batch(
+    const std::vector<SpeedEstimate>& batch) {
+  const double start = inst_.fold_s ? monotonic_time_s() : 0.0;
+  fusion_.add_batch(batch);
+  if (inst_.fold_s) inst_.fold_s->record(monotonic_time_s() - start);
 }
 
 void ConcurrentTrafficServer::flush_batches() {
@@ -71,7 +102,7 @@ void ConcurrentTrafficServer::flush_batches() {
       batch->pending.clear();
     }
   }
-  if (!drained.empty()) fusion_.add_batch(drained);
+  if (!drained.empty()) fold_batch(drained);
 }
 
 void ConcurrentTrafficServer::advance_time(SimTime now) {

@@ -30,35 +30,49 @@
 #include <vector>
 
 #include "core/server.h"
+#include "core/traffic_ingestor.h"
 
 namespace bussense {
 
 struct ConcurrentServerConfig {
   std::size_t fusion_stripes = 16;         ///< independently locked shards
   std::size_t batch_flush_threshold = 32;  ///< estimates buffered per thread
+
+  /// Throws std::invalid_argument on nonsense (zero stripes or a zero
+  /// flush threshold would deadlock/divide the fusion into nothing).
+  void validate() const;
 };
 
-class ConcurrentTrafficServer {
+class ConcurrentTrafficServer : public TrafficIngestor {
  public:
   ConcurrentTrafficServer(const City& city, StopDatabase database,
                           ServerConfig config = {},
                           ConcurrentServerConfig concurrency = {});
 
   /// Full pipeline for one trip; safe to call from any thread.
-  TrafficServer::TripReport process_trip(const TripUpload& trip);
+  TripReport process_trip(const TripUpload& trip) override;
 
   /// Drains every thread's pending batch, then closes fusion periods up to
   /// `now` (thread-safe).
-  void advance_time(SimTime now);
+  void advance_time(SimTime now) override;
+
+  /// Drains every thread's pending batch into the striped fusion without
+  /// closing any period (thread-safe; graceful-shutdown hook for the async
+  /// ingest service).
+  void flush_batches();
 
   /// Snapshot of the shared map (thread-safe). Reflects estimates whose
   /// period a previous advance_time() closed, exactly as the serial server.
-  TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const;
+  TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const override;
 
-  const SegmentCatalog& catalog() const { return inner_.catalog(); }
+  const MetricsRegistry& metrics() const override { return inner_.metrics(); }
+  /// Shared registry (thread-safe instruments; see TrafficServer).
+  MetricsRegistry& metrics_registry() { return inner_.metrics_registry(); }
+
+  const SegmentCatalog& catalog() const override { return inner_.catalog(); }
   /// The shared fusion state (striped, safe to query concurrently).
   const StripedSpeedFusion& fusion() const { return fusion_; }
-  std::uint64_t trips_processed() const {
+  std::uint64_t trips_processed() const override {
     return trips_processed_.load(std::memory_order_relaxed);
   }
 
@@ -69,7 +83,7 @@ class ConcurrentTrafficServer {
   };
 
   ThreadBatch& local_batch();
-  void flush_batches();
+  void fold_batch(const std::vector<SpeedEstimate>& batch);
 
   // TrafficServer's stateless analysis stages are reused; its own fusion
   // state stays empty — all folds go through the striped fusion below.
@@ -81,6 +95,16 @@ class ConcurrentTrafficServer {
   const std::uint64_t server_id_;  ///< key for thread-local batch lookup
   mutable std::mutex registry_mutex_;
   std::vector<std::unique_ptr<ThreadBatch>> batches_;
+
+  // This front end skips inner_.process_trip() (the fold goes to the
+  // striped fusion), so it records the trip-level instruments itself —
+  // same names, one registry. Null when observability is disabled.
+  struct Instruments {
+    Counter* trips = nullptr;
+    BucketHistogram* trip_s = nullptr;
+    BucketHistogram* fold_s = nullptr;
+  };
+  Instruments inst_;
 };
 
 }  // namespace bussense

@@ -1,0 +1,202 @@
+#include "core/ingest_service.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bussense {
+
+void IngestServiceConfig::validate() const {
+  if (queue_capacity == 0) {
+    throw std::invalid_argument(
+        "IngestServiceConfig: queue_capacity must be > 0");
+  }
+  if (backpressure == Backpressure::kBlock && workers == 0) {
+    throw std::invalid_argument(
+        "IngestServiceConfig: kBlock with workers == 0 would deadlock every "
+        "enqueue against a full queue; use kReject/kDropOldest in manual "
+        "mode");
+  }
+  concurrency.validate();
+}
+
+IngestService::IngestService(const City& city, StopDatabase database,
+                             ServerConfig config, IngestServiceConfig service)
+    : backend_(city, std::move(database), config, service.concurrency),
+      service_(service) {
+  service_.validate();
+  if (config.obs.enabled) {
+    MetricsRegistry& reg = backend_.metrics_registry();
+    inst_.enqueued = &reg.counter("ingest.enqueued");
+    inst_.processed = &reg.counter("ingest.processed");
+    inst_.rejected_queue_full = &reg.counter("ingest.rejected_queue_full");
+    inst_.rejected_shutdown = &reg.counter("ingest.rejected_shutdown");
+    inst_.dropped_oldest = &reg.counter("ingest.dropped_oldest");
+    inst_.worker_errors = &reg.counter("ingest.worker_errors");
+    inst_.queue_latency_s = &reg.histogram("ingest.queue_latency_s");
+    inst_.queue_depth = &reg.gauge("ingest.queue_depth");
+  }
+  if (service_.workers > 0) {
+    pool_ = std::make_unique<ThreadPool>(
+        static_cast<unsigned>(service_.workers));
+    coordinator_ = std::thread([this] {
+      // One long parallel_for parks every pool thread (the coordinator
+      // included) in the drain loop until shutdown closes the queue.
+      try {
+        pool_->parallel_for(service_.workers, [this](std::size_t) {
+          worker_loop();
+        });
+      } catch (...) {
+        // worker_loop() catches per-item failures; anything reaching here
+        // (allocation failure in the pool machinery) only ends the loop
+        // early — shutdown() still drains on the caller's thread.
+      }
+    });
+  }
+}
+
+IngestService::~IngestService() { shutdown(); }
+
+TripReport IngestService::process_trip(const TripUpload& trip) {
+  TripReport report;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!closed_ &&
+        service_.backpressure == IngestServiceConfig::Backpressure::kBlock) {
+      not_full_.wait(lock, [&] {
+        return closed_ || queue_.size() < service_.queue_capacity;
+      });
+    }
+    if (closed_) {
+      report.outcome = IngestOutcome::kRejected;
+      report.reject_reason = RejectReason::kShutdown;
+      if (inst_.rejected_shutdown) inst_.rejected_shutdown->inc();
+      return report;
+    }
+    if (queue_.size() >= service_.queue_capacity) {
+      switch (service_.backpressure) {
+        case IngestServiceConfig::Backpressure::kBlock:
+          break;  // unreachable: the wait above guarantees a slot
+        case IngestServiceConfig::Backpressure::kReject:
+          report.outcome = IngestOutcome::kRejected;
+          report.reject_reason = RejectReason::kQueueFull;
+          if (inst_.rejected_queue_full) inst_.rejected_queue_full->inc();
+          return report;
+        case IngestServiceConfig::Backpressure::kDropOldest:
+          queue_.pop_front();
+          if (inst_.dropped_oldest) inst_.dropped_oldest->inc();
+          break;
+      }
+    }
+    queue_.push_back(Item{trip, inst_.queue_latency_s ? monotonic_time_s()
+                                                      : 0.0});
+    if (inst_.queue_depth) {
+      inst_.queue_depth->set(static_cast<double>(queue_.size()));
+    }
+  }
+  if (inst_.enqueued) inst_.enqueued->inc();
+  not_empty_.notify_one();
+  report.outcome = IngestOutcome::kQueued;
+  return report;
+}
+
+IngestService::Item IngestService::pop_locked(
+    std::unique_lock<std::mutex>& lock) {
+  Item item = std::move(queue_.front());
+  queue_.pop_front();
+  ++in_flight_;
+  if (inst_.queue_depth) {
+    inst_.queue_depth->set(static_cast<double>(queue_.size()));
+  }
+  lock.unlock();
+  not_full_.notify_one();
+  return item;
+}
+
+void IngestService::process_item(Item& item) {
+  try {
+    backend_.process_trip(item.trip);
+    if (inst_.processed) inst_.processed->inc();
+    if (inst_.queue_latency_s) {
+      inst_.queue_latency_s->record(monotonic_time_s() - item.enqueued_at);
+    }
+  } catch (...) {
+    // A malformed upload must not take a worker down; the error count is
+    // the operator's signal.
+    if (inst_.worker_errors) inst_.worker_errors->inc();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  --in_flight_;
+  if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+}
+
+void IngestService::worker_loop() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and fully drained
+      item = pop_locked(lock);
+    }
+    process_item(item);
+  }
+}
+
+std::size_t IngestService::process_queued(std::size_t max_items) {
+  std::size_t done = 0;
+  while (done < max_items) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.empty()) break;
+      item = pop_locked(lock);
+    }
+    process_item(item);
+    ++done;
+  }
+  return done;
+}
+
+void IngestService::drain() {
+  if (service_.workers == 0) {
+    process_queued(static_cast<std::size_t>(-1));
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void IngestService::advance_time(SimTime now) {
+  drain();
+  backend_.advance_time(now);
+}
+
+void IngestService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  if (coordinator_.joinable()) coordinator_.join();
+  // Manual mode (or a pool that died early): finish the queue here.
+  process_queued(static_cast<std::size_t>(-1));
+  // No accepted estimate may be stranded in a worker's thread batch.
+  backend_.flush_batches();
+}
+
+TrafficMap IngestService::snapshot(SimTime now, double max_age_s) const {
+  return backend_.snapshot(now, max_age_s);
+}
+
+std::size_t IngestService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool IngestService::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace bussense

@@ -1,0 +1,150 @@
+// Asynchronous ingest front end: bounded queue + worker pool + explicit
+// backpressure, over the thread-safe concurrent server.
+//
+// A deployment receives trip uploads from thousands of phones on whatever
+// schedule the cellular network delivers them; the analysis pipeline runs
+// at its own pace. IngestService decouples the two with a bounded MPMC
+// queue: producers call process_trip() from any thread and get an
+// immediate outcome (kQueued / kRejected), a fixed pool of workers drains
+// the queue through ConcurrentTrafficServer, and a configurable
+// backpressure policy decides what happens when producers outrun the
+// workers:
+//
+//   * kBlock      — the producer waits for a slot (lossless, applies the
+//                   backpressure to the caller);
+//   * kReject     — the upload is refused with RejectReason::kQueueFull
+//                   (the phone retries later; the refusal is counted);
+//   * kDropOldest — the oldest queued upload is discarded to make room
+//                   (freshest-data-wins, suited to live maps).
+//
+// Determinism: the queue only changes *when* a trip is analysed, never
+// what the analysis computes, and the striped fusion backend is
+// order-independent per period (see core/concurrent_server.h). The fused
+// map after drain() + advance_time() is therefore bit-identical to
+// feeding the same accepted uploads through the serial TrafficServer —
+// property-tested at several worker counts, with metrics on and off.
+//
+// Shutdown is graceful: shutdown() (also run by the destructor) closes
+// the queue to new uploads, lets the workers finish every queued trip,
+// then flushes the per-thread fusion batches so no accepted estimate is
+// lost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "core/concurrent_server.h"
+#include "core/traffic_ingestor.h"
+
+namespace bussense {
+
+struct IngestServiceConfig {
+  /// What process_trip() does when the queue is at capacity.
+  enum class Backpressure : std::uint8_t { kBlock, kReject, kDropOldest };
+
+  std::size_t queue_capacity = 1024;  ///< bounded; 0 is invalid
+  /// Worker threads draining the queue. 0 = manual mode: nothing runs in
+  /// the background and the owner steps the service with process_queued()
+  /// — the deterministic harness the backpressure tests build on.
+  std::size_t workers = 4;
+  Backpressure backpressure = Backpressure::kBlock;
+  ConcurrentServerConfig concurrency;
+
+  /// Throws std::invalid_argument on nonsense: a zero-capacity queue, or
+  /// kBlock with no workers (every full-queue enqueue would deadlock).
+  void validate() const;
+};
+
+class IngestService final : public TrafficIngestor {
+ public:
+  IngestService(const City& city, StopDatabase database,
+                ServerConfig config = {}, IngestServiceConfig service = {});
+  ~IngestService() override;
+
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  /// Enqueues the upload. Returns outcome kQueued (report data empty — the
+  /// pipeline runs later; read metrics() for throughput) or kRejected with
+  /// the reason. Safe from any thread, including after shutdown().
+  TripReport process_trip(const TripUpload& trip) override;
+
+  /// Blocks until every queued upload has been analysed and its estimates
+  /// handed to the fusion layer. In manual mode (workers == 0) the calling
+  /// thread does the work.
+  void drain();
+
+  /// drain(), then closes fusion periods up to `now`. This preserves the
+  /// TrafficIngestor contract: every estimate accepted before this call is
+  /// in the map it produces.
+  void advance_time(SimTime now) override;
+
+  /// Closes the queue (further uploads are rejected with kShutdown), lets
+  /// the workers finish everything already queued, stops them, and flushes
+  /// the per-thread fusion batches. Idempotent.
+  void shutdown();
+
+  /// Manual mode: analyse up to `max_items` queued uploads on the calling
+  /// thread; returns how many were processed. Races with nothing when
+  /// workers == 0 (its intended use).
+  std::size_t process_queued(std::size_t max_items);
+
+  TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const override;
+  const MetricsRegistry& metrics() const override { return backend_.metrics(); }
+  const SegmentCatalog& catalog() const override { return backend_.catalog(); }
+  std::uint64_t trips_processed() const override {
+    return backend_.trips_processed();
+  }
+
+  std::size_t queue_depth() const;
+  bool closed() const;
+  const ConcurrentTrafficServer& backend() const { return backend_; }
+
+ private:
+  struct Item {
+    TripUpload trip;
+    double enqueued_at = 0.0;  ///< monotonic_time_s() at enqueue
+  };
+
+  void worker_loop();
+  void process_item(Item& item);
+  Item pop_locked(std::unique_lock<std::mutex>& lock);
+
+  ConcurrentTrafficServer backend_;
+  IngestServiceConfig service_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;  ///< queue gained an item / closed
+  std::condition_variable not_full_;   ///< queue lost an item / closed
+  std::condition_variable idle_;       ///< queue empty and nothing in flight
+  std::deque<Item> queue_;
+  std::size_t in_flight_ = 0;
+  bool closed_ = false;
+
+  // Worker machinery: the coordinator thread parks the pool's workers in
+  // worker_loop() via one long parallel_for. Absent in manual mode.
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread coordinator_;
+
+  // Instruments live in the backend's registry so one snapshot covers the
+  // whole pipeline; null when observability is disabled.
+  struct Instruments {
+    Counter* enqueued = nullptr;
+    Counter* processed = nullptr;
+    Counter* rejected_queue_full = nullptr;
+    Counter* rejected_shutdown = nullptr;
+    Counter* dropped_oldest = nullptr;
+    Counter* worker_errors = nullptr;
+    BucketHistogram* queue_latency_s = nullptr;  ///< enqueue → handed to fusion
+    Gauge* queue_depth = nullptr;
+  };
+  Instruments inst_;
+};
+
+}  // namespace bussense

@@ -1,8 +1,35 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace bussense {
+
+void ServerConfig::validate() const {
+  matcher.validate();
+  if (!(clustering.max_score > 0.0)) {
+    throw std::invalid_argument("ServerConfig: clustering.max_score must be > 0");
+  }
+  if (!(clustering.max_gap_s > 0.0)) {
+    throw std::invalid_argument("ServerConfig: clustering.max_gap_s must be > 0");
+  }
+  if (!(fusion.update_period_s > 0.0)) {
+    throw std::invalid_argument(
+        "ServerConfig: fusion.update_period_s must be > 0");
+  }
+  if (!(fusion.observation_variance > 0.0)) {
+    throw std::invalid_argument(
+        "ServerConfig: fusion.observation_variance must be > 0");
+  }
+  if (!(fusion.variance_floor >= 0.0)) {
+    throw std::invalid_argument(
+        "ServerConfig: fusion.variance_floor must be >= 0");
+  }
+  if (!(fusion.process_noise_per_s >= 0.0)) {
+    throw std::invalid_argument(
+        "ServerConfig: fusion.process_noise_per_s must be >= 0");
+  }
+}
 
 TrafficServer::TrafficServer(const City& city, StopDatabase database,
                              ServerConfig config)
@@ -14,10 +41,29 @@ TrafficServer::TrafficServer(const City& city, StopDatabase database,
       matcher_(database_, config_.matcher),
       mapper_(route_graph_),
       estimator_(catalog_, config_.att),
-      fusion_(config_.fusion) {}
+      fusion_(config_.fusion),
+      metrics_(std::make_unique<MetricsRegistry>()) {
+  config_.validate();
+  if (config_.obs.enabled) {
+    inst_.trips = &metrics_->counter("pipeline.trips");
+    inst_.samples_considered = &metrics_->counter("pipeline.samples_considered");
+    inst_.samples_rejected = &metrics_->counter("pipeline.samples_rejected");
+    inst_.samples_matched = &metrics_->counter("pipeline.samples_matched");
+    inst_.clusters = &metrics_->counter("pipeline.clusters");
+    inst_.estimates = &metrics_->counter("pipeline.estimates");
+    inst_.match_s = &metrics_->histogram("pipeline.match_s");
+    inst_.cluster_s = &metrics_->histogram("pipeline.cluster_s");
+    inst_.map_s = &metrics_->histogram("pipeline.map_s");
+    inst_.estimate_s = &metrics_->histogram("pipeline.estimate_s");
+    inst_.fold_s = &metrics_->histogram("fusion.fold_s");
+    inst_.trip_s = &metrics_->histogram("pipeline.trip_s");
+    matcher_.bind_metrics(metrics_.get());
+  }
+}
 
 std::vector<MatchedSample> TrafficServer::match_samples(
     const TripUpload& trip, std::size_t* rejected) const {
+  const double start = inst_.match_s ? monotonic_time_s() : 0.0;
   std::vector<MatchedSample> matched;
   std::size_t dropped = 0;
   for (const CellularSample& sample : trip.samples) {
@@ -38,33 +84,52 @@ std::vector<MatchedSample> TrafficServer::match_samples(
                      return a.sample.time < b.sample.time;
                    });
   if (rejected) *rejected = dropped;
+  if (inst_.match_s) {
+    inst_.match_s->record(monotonic_time_s() - start);
+    inst_.samples_considered->add(trip.samples.size());
+    inst_.samples_rejected->add(dropped);
+    inst_.samples_matched->add(matched.size());
+  }
   return matched;
 }
 
-std::vector<SampleCluster> TrafficServer::cluster(
+std::vector<SampleCluster> TrafficServer::cluster_samples(
     const std::vector<MatchedSample>& matched) const {
-  if (config_.enable_clustering) {
-    return cluster_samples(matched, config_.clustering);
+  const double start = inst_.cluster_s ? monotonic_time_s() : 0.0;
+  std::vector<SampleCluster> clusters;
+  if (config_.stages.clustering) {
+    clusters = bussense::cluster_samples(matched, config_.clustering);
+  } else {
+    // Ablation: each sample becomes its own singleton cluster.
+    clusters.reserve(matched.size());
+    for (const MatchedSample& m : matched) {
+      SampleCluster c;
+      c.members.push_back(m);
+      c.candidates.push_back(StopCandidate{m.stop, 1.0, m.score});
+      clusters.push_back(std::move(c));
+    }
   }
-  // Ablation: each sample becomes its own singleton cluster.
-  std::vector<SampleCluster> singletons;
-  singletons.reserve(matched.size());
-  for (const MatchedSample& m : matched) {
-    SampleCluster c;
-    c.members.push_back(m);
-    c.candidates.push_back(StopCandidate{m.stop, 1.0, m.score});
-    singletons.push_back(std::move(c));
+  if (inst_.cluster_s) {
+    inst_.cluster_s->record(monotonic_time_s() - start);
+    inst_.clusters->add(clusters.size());
   }
-  return singletons;
+  return clusters;
 }
 
-MappedTrip TrafficServer::map(const std::vector<SampleCluster>& clusters) const {
-  if (config_.enable_trip_mapping) return mapper_.map_trip(clusters);
-  // Ablation: take each cluster's best candidate with no sequence reasoning.
+MappedTrip TrafficServer::map_trip(
+    const std::vector<SampleCluster>& clusters) const {
+  const double start = inst_.map_s ? monotonic_time_s() : 0.0;
   MappedTrip trip;
-  for (const SampleCluster& c : clusters) {
-    trip.stops.push_back(MappedCluster{c, c.best_candidate().stop});
+  if (config_.stages.trip_mapping) {
+    trip = mapper_.map_trip(clusters);
+  } else {
+    // Ablation: take each cluster's best candidate with no sequence
+    // reasoning.
+    for (const SampleCluster& c : clusters) {
+      trip.stops.push_back(MappedCluster{c, c.best_candidate().stop});
+    }
   }
+  if (inst_.map_s) inst_.map_s->record(monotonic_time_s() - start);
   return trip;
 }
 
@@ -72,20 +137,32 @@ TrafficServer::TripReport TrafficServer::analyze_trip(
     const TripUpload& trip) const {
   TripReport report;
   report.matched = match_samples(trip, &report.rejected_samples);
-  const auto clusters = cluster(report.matched);
-  report.mapped = map(clusters);
+  const auto clusters = cluster_samples(report.matched);
+  report.mapped = map_trip(clusters);
+  const double start = inst_.estimate_s ? monotonic_time_s() : 0.0;
   report.estimates = estimator_.estimate(report.mapped);
+  if (inst_.estimate_s) {
+    inst_.estimate_s->record(monotonic_time_s() - start);
+    inst_.estimates->add(report.estimates.size());
+  }
   return report;
 }
 
 void TrafficServer::ingest(const std::vector<SpeedEstimate>& estimates) {
+  const double start = inst_.fold_s ? monotonic_time_s() : 0.0;
   for (const SpeedEstimate& e : estimates) fusion_.add(e);
+  if (inst_.fold_s) inst_.fold_s->record(monotonic_time_s() - start);
 }
 
 TrafficServer::TripReport TrafficServer::process_trip(const TripUpload& trip) {
+  const double start = inst_.trip_s ? monotonic_time_s() : 0.0;
   TripReport report = analyze_trip(trip);
   ingest(report.estimates);
   ++trips_processed_;
+  if (inst_.trip_s) {
+    inst_.trip_s->record(monotonic_time_s() - start);
+    inst_.trips->inc();
+  }
   return report;
 }
 

@@ -3,9 +3,17 @@
 // receive trip → per-sample matching (γ filter) → per-bus-stop clustering →
 // per-trip ML mapping under route constraints → travel time extraction →
 // BTT→ATT model → Bayesian fusion → traffic map.
+//
+// TrafficServer is the serial front end of the TrafficIngestor interface
+// (core/traffic_ingestor.h); ConcurrentTrafficServer and IngestService
+// build on its stateless analyze_trip() split. Every pipeline stage
+// reports throughput, rejection counts and latency into the server's
+// MetricsRegistry (disable via ServerConfig::Observability — results are
+// bit-identical either way).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "citynet/city.h"
 #include "core/clustering.h"
@@ -13,9 +21,11 @@
 #include "core/route_graph.h"
 #include "core/segment_catalog.h"
 #include "core/stop_matcher.h"
+#include "core/traffic_ingestor.h"
 #include "core/traffic_map.h"
 #include "core/travel_estimator.h"
 #include "core/trip_mapper.h"
+#include "obs/metrics.h"
 #include "sensing/trip.h"
 
 namespace bussense {
@@ -25,27 +35,40 @@ struct ServerConfig {
   ClusteringConfig clustering;
   AttModelConfig att;
   FusionConfig fusion;
-  /// Ablation switches (DESIGN.md A1/A5): when disabled, the pipeline falls
-  /// back to per-sample best matches / singleton clusters.
-  bool enable_trip_mapping = true;
-  bool enable_clustering = true;
+
+  /// Ablation switches (DESIGN.md A1/A5), grouped: when a stage is
+  /// disabled, the pipeline falls back to per-sample best matches /
+  /// singleton clusters.
+  struct Stages {
+    bool trip_mapping = true;  ///< per-trip ML mapping (A1)
+    bool clustering = true;    ///< per-bus-stop co-clustering (A5)
+  };
+  Stages stages;
+
+  /// Pipeline observability. Recording never changes results; turning it
+  /// off removes even the per-stage clock reads for overhead ablations.
+  struct Observability {
+    bool enabled = true;
+  };
+  Observability obs;
+
+  /// Validates the whole nested config tree (matcher scores, clustering
+  /// scales, fusion periods); throws std::invalid_argument on nonsense
+  /// such as a non-positive fusion update period. One call checks
+  /// everything — the single entry point for all front ends.
+  void validate() const;
 };
 
-class TrafficServer {
+class TrafficServer : public TrafficIngestor {
  public:
   TrafficServer(const City& city, StopDatabase database,
                 ServerConfig config = {});
 
-  /// Everything the pipeline derived from one trip (kept for evaluation).
-  struct TripReport {
-    std::vector<MatchedSample> matched;    ///< samples that passed γ
-    std::size_t rejected_samples = 0;      ///< below-γ samples discarded
-    MappedTrip mapped;                     ///< stop per cluster
-    std::vector<SpeedEstimate> estimates;  ///< per adjacent segment
-  };
+  /// Compatibility alias: the report type now lives with the interface.
+  using TripReport = bussense::TripReport;
 
   /// Runs the full pipeline and folds the estimates into the fusion state.
-  TripReport process_trip(const TripUpload& trip);
+  TripReport process_trip(const TripUpload& trip) override;
 
   /// The pure analysis part of process_trip: match → cluster → map →
   /// estimate, touching no mutable state. Thread-safe against itself; the
@@ -58,18 +81,35 @@ class TrafficServer {
   /// Pipeline stages exposed individually (benches and ablations).
   std::vector<MatchedSample> match_samples(const TripUpload& trip,
                                            std::size_t* rejected = nullptr) const;
-  std::vector<SampleCluster> cluster(const std::vector<MatchedSample>&) const;
-  MappedTrip map(const std::vector<SampleCluster>&) const;
+  std::vector<SampleCluster> cluster_samples(
+      const std::vector<MatchedSample>& matched) const;
+  MappedTrip map_trip(const std::vector<SampleCluster>& clusters) const;
 
-  void advance_time(SimTime now) { fusion_.flush_until(now); }
-  TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const;
+  /// Deprecated spellings (PR 4 renamed the ambiguous stage methods; see
+  /// DESIGN.md §8). Forwarders only — remove after one deprecation cycle.
+  [[deprecated("renamed to cluster_samples()")]]
+  std::vector<SampleCluster> cluster(const std::vector<MatchedSample>& m) const {
+    return cluster_samples(m);
+  }
+  [[deprecated("renamed to map_trip()")]]
+  MappedTrip map(const std::vector<SampleCluster>& clusters) const {
+    return map_trip(clusters);
+  }
+
+  void advance_time(SimTime now) override { fusion_.flush_until(now); }
+  TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const override;
+
+  const MetricsRegistry& metrics() const override { return *metrics_; }
+  /// Mutable registry access (front ends layered on top register their own
+  /// instruments here so one export covers the whole pipeline).
+  MetricsRegistry& metrics_registry() { return *metrics_; }
 
   const City& city() const { return *city_; }
   const StopDatabase& database() const { return database_; }
-  const SegmentCatalog& catalog() const { return catalog_; }
+  const SegmentCatalog& catalog() const override { return catalog_; }
   const SpeedFusion& fusion() const { return fusion_; }
   const RouteGraph& route_graph() const { return route_graph_; }
-  std::uint64_t trips_processed() const { return trips_processed_; }
+  std::uint64_t trips_processed() const override { return trips_processed_; }
 
  private:
   const City* city_;
@@ -82,6 +122,26 @@ class TrafficServer {
   TravelEstimator estimator_;
   SpeedFusion fusion_;
   std::uint64_t trips_processed_ = 0;
+
+  // Observability: instruments cached at construction; all null-checked so
+  // the disabled path costs one branch. Owned registry exists either way
+  // (metrics() must always have something to return).
+  std::unique_ptr<MetricsRegistry> metrics_;
+  struct Instruments {
+    Counter* trips = nullptr;
+    Counter* samples_considered = nullptr;
+    Counter* samples_rejected = nullptr;
+    Counter* samples_matched = nullptr;
+    Counter* clusters = nullptr;
+    Counter* estimates = nullptr;
+    BucketHistogram* match_s = nullptr;
+    BucketHistogram* cluster_s = nullptr;
+    BucketHistogram* map_s = nullptr;
+    BucketHistogram* estimate_s = nullptr;
+    BucketHistogram* fold_s = nullptr;
+    BucketHistogram* trip_s = nullptr;
+  };
+  Instruments inst_;
 };
 
 }  // namespace bussense

@@ -1,7 +1,9 @@
 #include "core/stop_matcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <stdexcept>
 
 namespace bussense {
 
@@ -18,14 +20,52 @@ thread_local CandidateScratch t_scratch;
 
 }  // namespace
 
+void StopMatcherConfig::validate() const {
+  if (!std::isfinite(accept_threshold)) {
+    throw std::invalid_argument(
+        "StopMatcherConfig: accept_threshold must be finite");
+  }
+  if (!std::isfinite(matching.match_score) ||
+      !std::isfinite(matching.mismatch_penalty) ||
+      !std::isfinite(matching.gap_penalty)) {
+    throw std::invalid_argument(
+        "StopMatcherConfig: matching scores must be finite");
+  }
+}
+
 StopMatcher::StopMatcher(const StopDatabase& database, StopMatcherConfig config)
-    : database_(&database), config_(config) {}
+    : database_(&database), config_(config) {
+  config_.validate();
+}
+
+void StopMatcher::bind_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    calls_ = considered_ = candidates_ = pruned_ = accepted_ = nullptr;
+    return;
+  }
+  calls_ = &registry->counter("matcher.calls");
+  considered_ = &registry->counter("matcher.records_considered");
+  candidates_ = &registry->counter("matcher.gamma_candidates");
+  pruned_ = &registry->counter("matcher.records_pruned");
+  accepted_ = &registry->counter("matcher.records_accepted");
+}
+
+void StopMatcher::flush(const MatchStats& local, MatchStats* stats) const {
+  if (stats) *stats = local;
+  if (calls_) {
+    calls_->inc();
+    considered_->add(local.records_considered);
+    candidates_->add(local.gamma_candidates);
+    pruned_->add(local.records_pruned);
+    accepted_->add(local.records_accepted);
+  }
+}
 
 bool StopMatcher::index_usable() const {
   // The pruning bound score <= match_score · shared_cells needs a positive
   // match reward, non-negative penalties and a positive threshold; exotic
   // configurations keep the exhaustive scan.
-  return config_.use_index && config_.matching.match_score > 0.0 &&
+  return config_.accel.use_index && config_.matching.match_score > 0.0 &&
          config_.matching.mismatch_penalty >= 0.0 &&
          config_.matching.gap_penalty >= 0.0 && config_.accept_threshold > 0.0;
 }
@@ -51,10 +91,11 @@ const std::vector<std::uint32_t>& StopMatcher::gather_candidates(
 
 std::optional<MatchResult> StopMatcher::match(const Fingerprint& sample,
                                               MatchStats* stats) const {
-  if (stats) *stats = MatchStats{database_->size(), 0, 0};
+  MatchStats local;
+  local.records_considered = database_->size();
   std::optional<MatchResult> best;
   const auto consider = [&](const StopRecord& record) {
-    if (stats) ++stats->aligned;
+    ++local.records_accepted;
     const double score = similarity(sample, record.fingerprint, config_.matching);
     if (score < config_.accept_threshold) return;
     const int common = common_cell_count(sample, record.fingerprint);
@@ -65,8 +106,10 @@ std::optional<MatchResult> StopMatcher::match(const Fingerprint& sample,
   };
 
   if (!index_usable()) {
-    if (stats) stats->candidates = database_->size();
+    local.gamma_candidates = database_->size();
     for (const StopRecord& record : database_->records()) consider(record);
+    local.records_pruned = local.records_considered - local.records_accepted;
+    flush(local, stats);
     return best;
   }
 
@@ -79,21 +122,24 @@ std::optional<MatchResult> StopMatcher::match(const Fingerprint& sample,
                                   max_similarity(sample, record.fingerprint,
                                                  config_.matching));
     if (bound < config_.accept_threshold) continue;  // cannot reach γ
-    if (stats) ++stats->candidates;
+    ++local.gamma_candidates;
     // A candidate strictly below the incumbent score can neither win nor
     // tie (tie-breaks only apply at equal scores), so skip its DP.
     if (best && bound < best->score) continue;
     consider(record);
   }
+  local.records_pruned = local.records_considered - local.records_accepted;
+  flush(local, stats);
   return best;
 }
 
 std::vector<MatchResult> StopMatcher::match_all(const Fingerprint& sample,
                                                 MatchStats* stats) const {
-  if (stats) *stats = MatchStats{database_->size(), 0, 0};
+  MatchStats local;
+  local.records_considered = database_->size();
   std::vector<MatchResult> out;
   const auto consider = [&](const StopRecord& record) {
-    if (stats) ++stats->aligned;
+    ++local.records_accepted;
     const double score = similarity(sample, record.fingerprint, config_.matching);
     if (score >= config_.accept_threshold) {
       out.push_back(MatchResult{record.stop, score,
@@ -102,7 +148,7 @@ std::vector<MatchResult> StopMatcher::match_all(const Fingerprint& sample,
   };
 
   if (!index_usable()) {
-    if (stats) stats->candidates = database_->size();
+    local.gamma_candidates = database_->size();
     for (const StopRecord& record : database_->records()) consider(record);
   } else {
     const double ms = config_.matching.match_score;
@@ -112,10 +158,12 @@ std::vector<MatchResult> StopMatcher::match_all(const Fingerprint& sample,
                                     max_similarity(sample, record.fingerprint,
                                                    config_.matching));
       if (bound < config_.accept_threshold) continue;
-      if (stats) ++stats->candidates;
+      ++local.gamma_candidates;
       consider(record);
     }
   }
+  local.records_pruned = local.records_considered - local.records_accepted;
+  flush(local, stats);
   std::sort(out.begin(), out.end(), [](const MatchResult& a, const MatchResult& b) {
     return a.score > b.score ||
            (a.score == b.score && a.common_cells > b.common_cells);

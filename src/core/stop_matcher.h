@@ -11,8 +11,8 @@
 // (= 2 in the paper's setting). The matcher intersects the database's
 // inverted cell-ID posting lists to count shared cells per record, then
 // aligns only the records passing that bound — with results identical to
-// the full scan. `use_index = false` keeps the brute-force scan for the
-// scalability ablations.
+// the full scan. `accel.use_index = false` keeps the brute-force scan for
+// the scalability ablations.
 #pragma once
 
 #include <optional>
@@ -20,16 +20,27 @@
 
 #include "core/matching.h"
 #include "core/stop_database.h"
+#include "obs/metrics.h"
 
 namespace bussense {
 
 struct StopMatcherConfig {
   MatchingConfig matching;
   double accept_threshold = 2.0;  ///< γ
-  /// Generate candidates from the inverted cell-ID index. Falls back to the
-  /// full scan automatically when the γ-derived bound is unsound (negative
-  /// penalties, non-positive match score or threshold).
-  bool use_index = true;
+
+  /// Fast-path switches (DESIGN.md §6). Grouped so ablations flip one
+  /// documented knob instead of a loose boolean.
+  struct Acceleration {
+    /// Generate candidates from the inverted cell-ID index. Falls back to
+    /// the full scan automatically when the γ-derived bound is unsound
+    /// (negative penalties, non-positive match score or threshold).
+    bool use_index = true;
+  };
+  Acceleration accel;
+
+  /// Throws std::invalid_argument on nonsense (non-finite γ or matching
+  /// scores). Called by StopMatcher.
+  void validate() const;
 };
 
 struct MatchResult {
@@ -38,11 +49,23 @@ struct MatchResult {
   int common_cells = 0;
 };
 
-/// Per-call work counters (benches report candidates/sample).
+/// Per-call work counters. Follows the repo-wide stats convention:
+/// `*_considered` (total work the brute-force path would do), `*_pruned`
+/// (work the fast path provably skipped), `*_accepted` (work actually
+/// done), with reset()/merge() for aggregation — see ScanStats.
 struct MatchStats {
-  std::size_t records = 0;     ///< database size
-  std::size_t candidates = 0;  ///< records surviving the γ pruning bound
-  std::size_t aligned = 0;     ///< records actually run through the DP
+  std::size_t records_considered = 0;  ///< database size
+  std::size_t gamma_candidates = 0;    ///< records surviving the γ bound
+  std::size_t records_pruned = 0;      ///< records never run through the DP
+  std::size_t records_accepted = 0;    ///< records actually aligned
+
+  void reset() { *this = MatchStats{}; }
+  void merge(const MatchStats& other) {
+    records_considered += other.records_considered;
+    gamma_candidates += other.gamma_candidates;
+    records_pruned += other.records_pruned;
+    records_accepted += other.records_accepted;
+  }
 };
 
 class StopMatcher {
@@ -57,6 +80,13 @@ class StopMatcher {
   std::vector<MatchResult> match_all(const Fingerprint& sample,
                                      MatchStats* stats = nullptr) const;
 
+  /// Accumulates every call's MatchStats into `registry` (counters
+  /// `matcher.calls`, `matcher.records_considered/pruned/accepted`,
+  /// `matcher.gamma_candidates`). Counter updates are lock-free, so bound
+  /// matchers stay safe to use from many threads; recording never affects
+  /// match results. Pass nullptr to unbind.
+  void bind_metrics(MetricsRegistry* registry);
+
   const StopMatcherConfig& config() const { return config_; }
 
  private:
@@ -65,9 +95,17 @@ class StopMatcher {
   /// records ascending; returns the list of touched records.
   const std::vector<std::uint32_t>& gather_candidates(
       const Fingerprint& sample) const;
+  void flush(const MatchStats& local, MatchStats* stats) const;
 
   const StopDatabase* database_;
   StopMatcherConfig config_;
+  // Cached instrument handles (null when unbound). The registry outlives
+  // the matcher by contract.
+  Counter* calls_ = nullptr;
+  Counter* considered_ = nullptr;
+  Counter* candidates_ = nullptr;
+  Counter* pruned_ = nullptr;
+  Counter* accepted_ = nullptr;
 };
 
 }  // namespace bussense

@@ -1,0 +1,97 @@
+// TrafficIngestor: the one server API every backend front end implements.
+//
+// Three front ends share the pipeline of Figure 4 — the serial
+// TrafficServer, the thread-safe ConcurrentTrafficServer, and the
+// asynchronous IngestService (bounded queue + worker pool). Examples,
+// benches and deployments program against this interface and swap the
+// front end with one line; all three produce bit-identical fused maps for
+// the same accepted upload multiset (property-tested).
+//
+// Call contract, shared by every implementation:
+//
+//   * process_trip(upload) — hand one trip to the backend. Synchronous
+//     front ends return a fully populated TripReport with outcome
+//     kProcessed; the asynchronous service returns immediately with
+//     kQueued (report data empty — read the metrics registry instead) or
+//     kRejected plus a RejectReason when backpressure applies.
+//   * advance_time(now) — closes fusion periods up to `now`. Must only be
+//     called once every estimate older than `now`'s period has been handed
+//     in (the asynchronous service drains its queue first, preserving the
+//     same contract).
+//   * snapshot(now, max_age) — the fused traffic map.
+//   * metrics() — the pipeline-wide MetricsRegistry (throughput, rejection
+//     counts, per-stage latency). Always present; empty when observability
+//     is disabled in ServerConfig.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "core/clustering.h"
+#include "core/segment_catalog.h"
+#include "core/traffic_map.h"
+#include "core/travel_estimator.h"
+#include "core/trip_mapper.h"
+#include "obs/metrics.h"
+#include "sensing/trip.h"
+
+namespace bussense {
+
+/// What happened to an upload handed to process_trip().
+enum class IngestOutcome : std::uint8_t {
+  kProcessed,  ///< ran the full pipeline synchronously
+  kQueued,     ///< accepted into the ingest queue; processed asynchronously
+  kRejected,   ///< not accepted — see TripReport::reject_reason
+};
+
+/// Why an upload was rejected (backpressure semantics, DESIGN.md §8).
+enum class RejectReason : std::uint8_t {
+  kNone,       ///< not rejected
+  kQueueFull,  ///< bounded queue at capacity under the kReject policy
+  kShutdown,   ///< service is shutting down / already shut down
+};
+
+inline const char* to_string(IngestOutcome o) {
+  switch (o) {
+    case IngestOutcome::kProcessed: return "processed";
+    case IngestOutcome::kQueued: return "queued";
+    case IngestOutcome::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+inline const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+/// Everything the pipeline derived from one trip (kept for evaluation).
+/// Asynchronous front ends return only the outcome fields.
+struct TripReport {
+  IngestOutcome outcome = IngestOutcome::kProcessed;
+  RejectReason reject_reason = RejectReason::kNone;
+  std::vector<MatchedSample> matched;    ///< samples that passed γ
+  std::size_t rejected_samples = 0;      ///< below-γ samples discarded
+  MappedTrip mapped;                     ///< stop per cluster
+  std::vector<SpeedEstimate> estimates;  ///< per adjacent segment
+
+  bool accepted() const { return outcome != IngestOutcome::kRejected; }
+};
+
+class TrafficIngestor {
+ public:
+  virtual ~TrafficIngestor() = default;
+
+  virtual TripReport process_trip(const TripUpload& trip) = 0;
+  virtual void advance_time(SimTime now) = 0;
+  virtual TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const = 0;
+  virtual const MetricsRegistry& metrics() const = 0;
+  virtual const SegmentCatalog& catalog() const = 0;
+  virtual std::uint64_t trips_processed() const = 0;
+};
+
+}  // namespace bussense

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace bussense {
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("BucketHistogram: no buckets");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("BucketHistogram: bounds must strictly increase");
+    }
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void BucketHistogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+const std::vector<double>& BucketHistogram::default_latency_bounds_s() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 20.0; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(2.0 * decade);
+      b.push_back(5.0 * decade);
+    }
+    return b;  // 1 µs, 2 µs, 5 µs, …, 10 s (last bound 50 s trimmed by <20)
+  }();
+  return bounds;
+}
+
+BucketHistogram::Snapshot BucketHistogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.total = total_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double BucketHistogram::Snapshot::percentile(double q) const {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (static_cast<double>(cumulative + in_bucket) >= rank && in_bucket > 0) {
+      if (i >= bounds.size()) return bounds.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double into = rank - static_cast<double>(cumulative);
+      return lo + (hi - lo) * std::clamp(into / static_cast<double>(in_bucket),
+                                         0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
+void BucketHistogram::merge(const BucketHistogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("BucketHistogram::merge: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+BucketHistogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<BucketHistogram>(bounds);
+  return *slot;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Lock ordering: other is read under its own mutex into a snapshot-like
+  // copy first, so merge(a, b) and concurrent recording never deadlock.
+  std::vector<std::pair<std::string, std::uint64_t>> add_counters;
+  std::vector<std::pair<std::string, double>> set_gauges;
+  std::vector<std::pair<std::string, const BucketHistogram*>> add_histograms;
+  {
+    const std::lock_guard<std::mutex> lock(other.mutex_);
+    for (const auto& [name, c] : other.counters_) {
+      add_counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      set_gauges.emplace_back(name, g->value());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      add_histograms.emplace_back(name, h.get());
+    }
+  }
+  // Safe as long as `other` outlives the call (histogram pointers are read
+  // outside its lock; instruments are never deleted while a registry lives).
+  for (const auto& [name, v] : add_counters) counter(name).add(v);
+  for (const auto& [name, v] : set_gauges) gauge(name).set(v);
+  for (const auto& [name, h] : add_histograms) {
+    histogram(name, h->bounds()).merge(*h);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << num(v);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+       << h.total << ", \"sum\": " << num(h.sum) << ", \"mean\": "
+       << num(h.mean()) << ", \"p50\": " << num(h.percentile(0.50))
+       << ", \"p99\": " << num(h.percentile(0.99)) << ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << (i ? ", " : "") << "[\""
+         << (i < h.bounds.size() ? num(h.bounds[i]) : std::string("+inf"))
+         << "\", " << h.counts[i] << "]";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace bussense

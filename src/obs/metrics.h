@@ -1,0 +1,145 @@
+// Pipeline-wide observability: counters, gauges and fixed-bucket latency
+// histograms behind one registry.
+//
+// Design constraints (DESIGN.md §8):
+//
+//   * the hot path never takes a lock — every instrument is a handful of
+//     relaxed atomics, and callers cache the instrument pointer returned by
+//     the registry, so recording is a few nanoseconds;
+//   * instruments never influence results — the pipeline is bit-identical
+//     with metrics on or off (property-tested);
+//   * snapshots are deterministic — instruments are keyed by name and
+//     exported in sorted order, so two registries fed the same values
+//     produce the same JSON regardless of registration or thread order.
+//
+// The registry mutex guards only registration/lookup (rare, setup-time) and
+// snapshotting; concurrent record()/snapshot() is safe — a snapshot is a
+// consistent-enough point-in-time read of monotonic counters.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bussense {
+
+/// Monotonic event count. Lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, worker count). Lock-free.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: immutable upper bounds chosen at registration,
+/// one overflow bucket, running count and sum. record() is a binary search
+/// over the bounds plus two relaxed atomic adds — lock-free and wait-free
+/// on x86. Percentiles are linearly interpolated inside the bucket, so
+/// their resolution is the bucket ladder's (the default 1-2-5 latency
+/// ladder resolves p50/p99 to within a factor ~2 — plenty to tell a 50 µs
+/// stage from a 5 ms one).
+class BucketHistogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit BucketHistogram(std::vector<double> upper_bounds);
+
+  void record(double value);
+
+  /// 1-2-5 ladder from 1 µs to 10 s — fits every pipeline stage latency.
+  static const std::vector<double>& default_latency_bounds_s();
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< finite upper bounds
+    std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (overflow last)
+    std::uint64_t total = 0;
+    double sum = 0.0;
+
+    double mean() const { return total ? sum / static_cast<double>(total) : 0.0; }
+    /// Interpolated q-quantile, q in [0, 1]. Values in the overflow bucket
+    /// report the last finite bound.
+    double percentile(double q) const;
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Adds `other`'s buckets into this histogram (bounds must match).
+  void merge(const BucketHistogram& other);
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Deterministic point-in-time view of a registry: name-sorted maps.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, BucketHistogram::Snapshot> histograms;
+
+  /// Stable JSON export: keys sorted, doubles printed with %.17g, histogram
+  /// entries carry count/sum/p50/p99 plus the full bucket vector.
+  std::string to_json() const;
+};
+
+/// Named instruments, created on first use and stable in memory for the
+/// registry's lifetime (so cached Counter*/BucketHistogram* handles never move).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Registers (or finds) a histogram; `bounds` applies on first creation.
+  BucketHistogram& histogram(
+      const std::string& name,
+      const std::vector<double>& bounds = BucketHistogram::default_latency_bounds_s());
+
+  /// Folds `other` into this registry: counters and histogram buckets sum;
+  /// gauges take `other`'s value (last-writer-wins, matching their
+  /// instantaneous semantics). Deterministic: merging per-thread registries
+  /// in a fixed order yields the same counters, bucket counts and
+  /// percentiles at any shard count; only a histogram's running `sum` is a
+  /// float accumulation, so it agrees across shardings to within rounding.
+  void merge(const MetricsRegistry& other);
+
+  MetricsSnapshot snapshot() const;
+  std::string to_json() const { return snapshot().to_json(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<BucketHistogram>> histograms_;
+};
+
+/// Monotonic time in seconds (steady clock) for latency instruments.
+inline double monotonic_time_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace bussense

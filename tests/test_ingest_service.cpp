@@ -1,0 +1,431 @@
+// Asynchronous ingest service: backpressure semantics, graceful shutdown,
+// and the determinism contract — the queued path must produce a fused map
+// bit-identical to the serial TrafficServer for the same accepted uploads,
+// with metrics on or off, at any worker count.
+//
+// Configure with -DBUSSENSE_SANITIZE=thread to run this suite under
+// ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/ingest_service.h"
+#include "core/server.h"
+#include "core/stop_database.h"
+#include "obs/metrics.h"
+#include "trafficsim/world.h"
+
+namespace bussense {
+namespace {
+
+struct Testbed {
+  World world;
+  StopDatabase database;
+  std::vector<AnnotatedTrip> trips;
+
+  Testbed() {
+    Rng survey_rng(2024);
+    database = build_stop_database(
+        world.city(),
+        [&](StopId stop, int run) {
+          return world.scan_stop(stop, survey_rng, run % 2 == 1);
+        },
+        5);
+    Rng rng(77);
+    trips = world.simulate_day(0, 1.2, rng).trips;
+  }
+};
+
+const Testbed& testbed() {
+  static const Testbed bed;
+  return bed;
+}
+
+using Backpressure = IngestServiceConfig::Backpressure;
+
+IngestServiceConfig manual_config(Backpressure policy, std::size_t capacity) {
+  IngestServiceConfig svc;
+  svc.workers = 0;  // manual mode: the test steps the queue
+  svc.backpressure = policy;
+  svc.queue_capacity = capacity;
+  return svc;
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(IngestServiceConfig, RejectsNonsense) {
+  const Testbed& bed = testbed();
+  IngestServiceConfig zero_cap;
+  zero_cap.queue_capacity = 0;
+  EXPECT_THROW(IngestService(bed.world.city(), bed.database, {}, zero_cap),
+               std::invalid_argument);
+
+  // kBlock with no workers would deadlock the first enqueue on a full
+  // queue; validate() must refuse the combination up front.
+  IngestServiceConfig block_manual;
+  block_manual.workers = 0;
+  block_manual.backpressure = Backpressure::kBlock;
+  EXPECT_THROW(IngestService(bed.world.city(), bed.database, {}, block_manual),
+               std::invalid_argument);
+
+  IngestServiceConfig bad_stripes;
+  bad_stripes.concurrency.fusion_stripes = 0;
+  EXPECT_THROW(IngestService(bed.world.city(), bed.database, {}, bad_stripes),
+               std::invalid_argument);
+}
+
+TEST(ServerConfigValidation, ThrowsOnNonsense) {
+  const Testbed& bed = testbed();
+  ServerConfig bad;
+  bad.fusion.update_period_s = 0.0;
+  EXPECT_THROW(TrafficServer(bed.world.city(), bed.database, bad),
+               std::invalid_argument);
+  ServerConfig bad2;
+  bad2.clustering.max_gap_s = -1.0;
+  EXPECT_THROW(TrafficServer(bed.world.city(), bed.database, bad2),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ backpressure
+
+TEST(IngestBackpressure, RejectPolicyCountsRefusals) {
+  const Testbed& bed = testbed();
+  ASSERT_GE(bed.trips.size(), 8u);
+  IngestService service(bed.world.city(), bed.database, {},
+                        manual_config(Backpressure::kReject, 4));
+
+  std::size_t queued = 0, rejected = 0;
+  for (std::size_t i = 0; i < 7; ++i) {
+    const TripReport r = service.process_trip(bed.trips[i].upload);
+    if (r.outcome == IngestOutcome::kQueued) {
+      ++queued;
+    } else {
+      ++rejected;
+      EXPECT_EQ(r.outcome, IngestOutcome::kRejected);
+      EXPECT_EQ(r.reject_reason, RejectReason::kQueueFull);
+      EXPECT_FALSE(r.accepted());
+    }
+  }
+  EXPECT_EQ(queued, 4u);
+  EXPECT_EQ(rejected, 3u);
+  EXPECT_EQ(service.queue_depth(), 4u);
+
+  // The refusals are an operator-visible signal, not a silent drop.
+  const MetricsSnapshot ms = service.metrics().snapshot();
+  EXPECT_EQ(ms.counters.at("ingest.enqueued"), 4u);
+  EXPECT_EQ(ms.counters.at("ingest.rejected_queue_full"), 3u);
+  EXPECT_EQ(ms.gauges.at("ingest.queue_depth"), 4.0);
+
+  // Draining frees capacity: the next upload is accepted again.
+  EXPECT_EQ(service.process_queued(2), 2u);
+  EXPECT_EQ(service.process_trip(bed.trips[7].upload).outcome,
+            IngestOutcome::kQueued);
+  service.drain();
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_EQ(service.trips_processed(), 5u);
+}
+
+TEST(IngestBackpressure, DropOldestKeepsFreshestUploads) {
+  const Testbed& bed = testbed();
+  ASSERT_GE(bed.trips.size(), 6u);
+  IngestService service(bed.world.city(), bed.database, {},
+                        manual_config(Backpressure::kDropOldest, 3));
+
+  for (std::size_t i = 0; i < 6; ++i) {
+    // Every enqueue is accepted — the queue sheds the oldest instead.
+    EXPECT_EQ(service.process_trip(bed.trips[i].upload).outcome,
+              IngestOutcome::kQueued);
+  }
+  EXPECT_EQ(service.queue_depth(), 3u);
+  const MetricsSnapshot ms = service.metrics().snapshot();
+  EXPECT_EQ(ms.counters.at("ingest.enqueued"), 6u);
+  EXPECT_EQ(ms.counters.at("ingest.dropped_oldest"), 3u);
+
+  service.drain();
+  // Only the freshest three survived to the pipeline.
+  EXPECT_EQ(service.trips_processed(), 3u);
+}
+
+TEST(IngestBackpressure, BlockPolicyIsLossless) {
+  const Testbed& bed = testbed();
+  IngestServiceConfig svc;
+  svc.workers = 2;
+  svc.queue_capacity = 2;  // tiny on purpose: producers must block
+  svc.backpressure = Backpressure::kBlock;
+  IngestService service(bed.world.city(), bed.database, {}, svc);
+
+  std::atomic<std::size_t> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = static_cast<std::size_t>(p); i < bed.trips.size();
+           i += 4) {
+        if (service.process_trip(bed.trips[i].upload).accepted()) ++accepted;
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  service.drain();
+  EXPECT_EQ(accepted.load(), bed.trips.size());
+  EXPECT_EQ(service.trips_processed(), bed.trips.size());
+  const MetricsSnapshot ms = service.metrics().snapshot();
+  EXPECT_EQ(ms.counters.at("ingest.processed"), bed.trips.size());
+  EXPECT_EQ(ms.counters.at("ingest.rejected_queue_full"), 0u);
+  EXPECT_EQ(ms.counters.at("ingest.dropped_oldest"), 0u);
+}
+
+// ---------------------------------------------------------------- shutdown
+
+TEST(IngestShutdown, DrainsQueueAndRejectsLateUploads) {
+  const Testbed& bed = testbed();
+  IngestService service(bed.world.city(), bed.database, {},
+                        manual_config(Backpressure::kReject, 64));
+  const std::size_t n = std::min<std::size_t>(bed.trips.size(), 20);
+  for (std::size_t i = 0; i < n; ++i) {
+    service.process_trip(bed.trips[i].upload);
+  }
+  EXPECT_EQ(service.queue_depth(), n);
+
+  service.shutdown();
+  EXPECT_TRUE(service.closed());
+  // Graceful: everything queued before shutdown was still analysed...
+  EXPECT_EQ(service.trips_processed(), n);
+  EXPECT_EQ(service.queue_depth(), 0u);
+
+  // ...and late uploads are refused with the explicit reason.
+  const TripReport late = service.process_trip(bed.trips[0].upload);
+  EXPECT_EQ(late.outcome, IngestOutcome::kRejected);
+  EXPECT_EQ(late.reject_reason, RejectReason::kShutdown);
+  EXPECT_EQ(service.metrics().snapshot().counters.at(
+                "ingest.rejected_shutdown"),
+            1u);
+
+  service.shutdown();  // idempotent
+  EXPECT_EQ(service.trips_processed(), n);
+}
+
+TEST(IngestShutdown, UnderProducerLoadLosesNoAcceptedUpload) {
+  const Testbed& bed = testbed();
+  for (int round = 0; round < 3; ++round) {
+    IngestServiceConfig svc;
+    svc.workers = 4;
+    svc.queue_capacity = 8;
+    svc.backpressure = Backpressure::kReject;
+    auto service = std::make_unique<IngestService>(bed.world.city(),
+                                                   bed.database, ServerConfig{},
+                                                   svc);
+    std::atomic<std::size_t> accepted{0}, rejected{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = static_cast<std::size_t>(p);
+             i < bed.trips.size(); i += 4) {
+          const TripReport r = service->process_trip(bed.trips[i].upload);
+          if (r.accepted()) {
+            ++accepted;
+          } else {
+            ++rejected;
+          }
+        }
+      });
+    }
+    // Tear the service down while producers are still hammering it; the
+    // destructor runs the same graceful shutdown.
+    service->shutdown();
+    for (std::thread& t : producers) t.join();
+    EXPECT_EQ(accepted.load() + rejected.load(), bed.trips.size());
+    // Every accepted upload made it through the pipeline — none were lost
+    // between the queue and the workers.
+    EXPECT_EQ(service->trips_processed(), accepted.load());
+    const MetricsSnapshot ms = service->metrics().snapshot();
+    EXPECT_EQ(ms.counters.at("ingest.processed"), accepted.load());
+    EXPECT_EQ(ms.counters.at("ingest.rejected_queue_full") +
+                  ms.counters.at("ingest.rejected_shutdown"),
+              rejected.load());
+  }
+}
+
+// ------------------------------------------------------------- determinism
+
+// The tentpole property: serial server, async service with metrics on, and
+// async service with metrics off — same accepted uploads, bit-identical
+// fused maps, at several worker counts.
+TEST(IngestDeterminism, QueuedPathBitIdenticalToSerial) {
+  const Testbed& bed = testbed();
+  ASSERT_GT(bed.trips.size(), 30u);
+  const SimTime end = at_clock(1, 0, 0);
+
+  TrafficServer serial(bed.world.city(), bed.database);
+  for (const AnnotatedTrip& trip : bed.trips) serial.process_trip(trip.upload);
+  serial.advance_time(end);
+  const auto expected = serial.fusion().all();
+  ASSERT_FALSE(expected.empty());
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    for (const bool metrics_on : {true, false}) {
+      ServerConfig cfg;
+      cfg.obs.enabled = metrics_on;
+      IngestServiceConfig svc;
+      svc.workers = workers;
+      svc.queue_capacity = 16;  // small: exercises blocking backpressure
+      svc.backpressure = Backpressure::kBlock;
+      // Small batches + few stripes on purpose: more interleavings.
+      svc.concurrency.fusion_stripes = 4;
+      svc.concurrency.batch_flush_threshold = 8;
+      IngestService service(bed.world.city(), bed.database, cfg, svc);
+
+      std::vector<std::thread> producers;
+      for (int p = 0; p < 3; ++p) {
+        producers.emplace_back([&, p] {
+          for (std::size_t i = static_cast<std::size_t>(p);
+               i < bed.trips.size(); i += 3) {
+            ASSERT_TRUE(service.process_trip(bed.trips[i].upload).accepted());
+          }
+        });
+      }
+      for (std::thread& t : producers) t.join();
+      service.advance_time(end);  // drains, then closes periods
+
+      EXPECT_EQ(service.trips_processed(), bed.trips.size());
+      const auto got = service.backend().fusion().all();
+      ASSERT_EQ(got.size(), expected.size())
+          << workers << " workers, metrics " << metrics_on;
+      for (const auto& [key, fused] : expected) {
+        const auto q = service.backend().fusion().query(key);
+        ASSERT_TRUE(q.has_value());
+        EXPECT_EQ(q->mean_kmh, fused.mean_kmh);
+        EXPECT_EQ(q->variance, fused.variance);
+        EXPECT_EQ(q->updated_at, fused.updated_at);
+        EXPECT_EQ(q->observation_count, fused.observation_count);
+      }
+    }
+  }
+}
+
+TEST(IngestDeterminism, MetricsOffRegistryStaysEmpty) {
+  const Testbed& bed = testbed();
+  ServerConfig cfg;
+  cfg.obs.enabled = false;
+  IngestService service(bed.world.city(), bed.database, cfg,
+                        manual_config(Backpressure::kReject, 64));
+  service.process_trip(bed.trips[0].upload);
+  service.drain();
+  const MetricsSnapshot ms = service.metrics().snapshot();
+  EXPECT_TRUE(ms.counters.empty());
+  EXPECT_TRUE(ms.gauges.empty());
+  EXPECT_TRUE(ms.histograms.empty());
+}
+
+// ------------------------------------------------------- metrics registry
+
+TEST(MetricsRegistry, MergeIsDeterministicAcrossShardings) {
+  // The same 1000 observations split across 1, 2, 5 per-thread registries
+  // and merged in order must snapshot identically.
+  const auto feed = [](MetricsRegistry& reg, int begin, int end) {
+    Counter& c = reg.counter("work.items");
+    BucketHistogram& h = reg.histogram("work.latency_s");
+    Gauge& g = reg.gauge("work.depth");
+    for (int i = begin; i < end; ++i) {
+      c.inc();
+      h.record(1e-6 * static_cast<double>(1 + (i * 7919) % 100000));
+      g.set(static_cast<double>(end));
+    }
+  };
+
+  std::vector<MetricsSnapshot> snaps;
+  for (const int shards : {1, 2, 5}) {
+    std::vector<MetricsRegistry> parts(static_cast<std::size_t>(shards));
+    const int per = 1000 / shards;
+    for (int s = 0; s < shards; ++s) {
+      feed(parts[static_cast<std::size_t>(s)], s * per, (s + 1) * per);
+    }
+    // Gauges are last-writer-wins: make every shard agree so the merge
+    // order cannot matter for them either.
+    for (auto& p : parts) p.gauge("work.depth").set(1000.0);
+    MetricsRegistry merged;
+    for (const auto& p : parts) merged.merge(p);
+    snaps.push_back(merged.snapshot());
+  }
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    // Counters, gauges, bucket counts and totals merge exactly; only the
+    // histogram's running sum is a float accumulation, which merges to
+    // within rounding (documented in obs/metrics.h).
+    EXPECT_EQ(snaps[i].counters, snaps[0].counters);
+    EXPECT_EQ(snaps[i].gauges, snaps[0].gauges);
+    ASSERT_EQ(snaps[i].histograms.size(), snaps[0].histograms.size());
+    const auto& a = snaps[0].histograms.at("work.latency_s");
+    const auto& b = snaps[i].histograms.at("work.latency_s");
+    EXPECT_EQ(a.counts, b.counts);
+    EXPECT_EQ(a.total, b.total);
+    EXPECT_EQ(a.percentile(0.5), b.percentile(0.5));
+    EXPECT_EQ(a.percentile(0.99), b.percentile(0.99));
+    EXPECT_NEAR(a.sum, b.sum, 1e-9 * a.sum);
+  }
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingCountsEverything) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  BucketHistogram& h = reg.histogram("lat_s");
+  std::vector<std::thread> pool;
+  constexpr int kThreads = 8, kPer = 5000;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPer; ++i) {
+        c.inc();
+        h.record(1e-5);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPer));
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.total, static_cast<std::uint64_t>(kThreads * kPer));
+  EXPECT_NEAR(snap.mean(), 1e-5, 1e-12);
+}
+
+TEST(BucketHistogramSnapshot, PercentilesInterpolateAndClamp) {
+  BucketHistogram h({1.0, 2.0, 5.0});
+  for (int i = 0; i < 50; ++i) h.record(0.5);   // first bucket
+  for (int i = 0; i < 50; ++i) h.record(1.5);   // second bucket
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.total, 100u);
+  EXPECT_LE(snap.percentile(0.25), 1.0);
+  EXPECT_GT(snap.percentile(0.75), 1.0);
+  EXPECT_LE(snap.percentile(0.75), 2.0);
+  h.record(100.0);  // overflow clamps to the last finite bound
+  EXPECT_EQ(h.snapshot().percentile(1.0), 5.0);
+  EXPECT_THROW(BucketHistogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(BucketHistogram({}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ deprecation
+
+// The renamed stage methods keep forwarding wrappers for one cycle; this
+// test pins their behaviour (and locally silences the deprecation noise).
+TEST(DeprecatedWrappers, ForwardToRenamedStageMethods) {
+  const Testbed& bed = testbed();
+  TrafficServer server(bed.world.city(), bed.database);
+  const auto matched = server.match_samples(bed.trips[0].upload);
+#ifdef __GNUC__
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  const auto via_old_cluster = server.cluster(matched);
+  const MappedTrip via_old_map = server.map(via_old_cluster);
+#ifdef __GNUC__
+#pragma GCC diagnostic pop
+#endif
+  const auto via_new_cluster = server.cluster_samples(matched);
+  const MappedTrip via_new_map = server.map_trip(via_new_cluster);
+  ASSERT_EQ(via_old_cluster.size(), via_new_cluster.size());
+  ASSERT_EQ(via_old_map.stops.size(), via_new_map.stops.size());
+  for (std::size_t i = 0; i < via_old_map.stops.size(); ++i) {
+    EXPECT_EQ(via_old_map.stops[i].stop, via_new_map.stops[i].stop);
+  }
+}
+
+}  // namespace
+}  // namespace bussense

@@ -47,8 +47,8 @@ double mapping_accuracy(const World& world, const TrafficServer& server,
     for (std::size_t i = 0; i < trip.upload.samples.size(); ++i) {
       truth_by_time[trip.upload.samples[i].time] = trip.truth.sample_stops[i];
     }
-    const auto clusters = server.cluster(matched);
-    const MappedTrip mapped = server.map(clusters);
+    const auto clusters = server.cluster_samples(matched);
+    const MappedTrip mapped = server.map_trip(clusters);
     for (const MappedCluster& mc : mapped.stops) {
       std::map<StopId, int> votes;
       for (const MatchedSample& m : mc.cluster.members) {
@@ -136,7 +136,7 @@ TEST(Integration, DayScaleMappingAccuracyHigh) {
 TEST(Integration, TripMappingAblationDoesNotHurt) {
   const Testbed& bed = testbed();
   ServerConfig with, without;
-  without.enable_trip_mapping = false;
+  without.stages.trip_mapping = false;
   TrafficServer s_with(bed.world.city(), bed.database, with);
   TrafficServer s_without(bed.world.city(), bed.database, without);
   Rng rng(5);

@@ -144,7 +144,7 @@ TEST_P(IndexedMatcherEquivalence, MatchAndMatchAllIdenticalToBruteForce) {
       db.add(static_cast<StopId>(r + 1), std::move(fp));
     }
     StopMatcherConfig brute_cfg;
-    brute_cfg.use_index = false;
+    brute_cfg.accel.use_index = false;
     const StopMatcher indexed(db);  // use_index defaults to true
     const StopMatcher brute(db, brute_cfg);
     for (int q = 0; q < 40; ++q) {
@@ -161,8 +161,10 @@ TEST_P(IndexedMatcherEquivalence, MatchAndMatchAllIdenticalToBruteForce) {
         EXPECT_EQ(a->score, b->score);  // same DP kernel → bit-identical
         EXPECT_EQ(a->common_cells, b->common_cells);
       }
-      EXPECT_LE(stats.aligned, stats.candidates);
-      EXPECT_LE(stats.candidates, stats.records);
+      EXPECT_LE(stats.records_accepted, stats.gamma_candidates);
+      EXPECT_LE(stats.gamma_candidates, stats.records_considered);
+      EXPECT_EQ(stats.records_pruned,
+                stats.records_considered - stats.records_accepted);
       const auto all_a = indexed.match_all(sample);
       const auto all_b = brute.match_all(sample);
       ASSERT_EQ(all_a.size(), all_b.size());
@@ -205,7 +207,7 @@ TEST(IndexedMatcher, FullPipelineReportsIdenticalToBruteForce) {
       },
       3);
   ServerConfig brute_cfg;
-  brute_cfg.matcher.use_index = false;
+  brute_cfg.matcher.accel.use_index = false;
   const TrafficServer indexed(world.city(), db);
   const TrafficServer brute(world.city(), db, brute_cfg);
   Rng rng(31);
@@ -241,9 +243,10 @@ TEST(IndexedMatcher, PruningSkipsHopelessCandidates) {
   const StopMatcher matcher(db);
   MatchStats stats;
   EXPECT_FALSE(matcher.match(Fingerprint{{10, 30, 31}}, &stats).has_value());
-  EXPECT_EQ(stats.records, 2u);
-  EXPECT_EQ(stats.candidates, 0u);
-  EXPECT_EQ(stats.aligned, 0u);
+  EXPECT_EQ(stats.records_considered, 2u);
+  EXPECT_EQ(stats.gamma_candidates, 0u);
+  EXPECT_EQ(stats.records_accepted, 0u);
+  EXPECT_EQ(stats.records_pruned, 2u);
 }
 
 // ------------------------------------------------------- goertzel vs fft

@@ -37,7 +37,7 @@ TEST_P(ScanEquivalence, IndexedMatchesBruteForceBitForBit) {
     const RadioEnvironment env(towers, PropagationConfig{}, meta.engine()());
 
     ScannerConfig indexed_cfg, brute_cfg;
-    brute_cfg.use_index = false;
+    brute_cfg.accel.use_index = false;
     const CellScanner indexed(indexed_cfg);
     const CellScanner brute(brute_cfg);
 
@@ -57,9 +57,11 @@ TEST_P(ScanEquivalence, IndexedMatchesBruteForceBitForBit) {
       }
       // Both paths must consume the caller's rng stream identically.
       EXPECT_EQ(rng_a.engine()(), rng_b.engine()());
-      EXPECT_EQ(stats.towers, towers.size());
-      EXPECT_LE(stats.candidates, stats.towers);
-      EXPECT_LE(stats.sampled, stats.candidates);
+      EXPECT_EQ(stats.towers_considered, towers.size());
+      EXPECT_LE(stats.reach_candidates, stats.towers_considered);
+      EXPECT_LE(stats.towers_accepted, stats.reach_candidates);
+      EXPECT_EQ(stats.towers_pruned,
+                stats.towers_considered - stats.towers_accepted);
     }
   }
 }
@@ -74,7 +76,7 @@ TEST_P(ScanEquivalence, WorldScanStopWithChurnIsIndexInvariant) {
   base.tower_churn_event_day = 2;
   base.tower_churn_event_fraction = 0.3;
   WorldConfig brute = base;
-  brute.scanner.use_index = false;
+  brute.scanner.accel.use_index = false;
   const World world_indexed(base), world_brute(brute);
 
   const std::uint64_t scan_seed = 1234 + GetParam();
@@ -156,14 +158,12 @@ TEST(ScanStats, IndexPrunesOnTheFullCity) {
     ScanStats stats;
     const Point p{scan_rng.uniform(0.0, 7000.0), scan_rng.uniform(0.0, 4000.0)};
     (void)scanner.scan(env, p, scan_rng, false, &stats);
-    total.towers += stats.towers;
-    total.candidates += stats.candidates;
-    total.sampled += stats.sampled;
+    total.merge(stats);
   }
-  EXPECT_LT(total.candidates, total.towers);
+  EXPECT_LT(total.reach_candidates, total.towers_considered);
   // The per-tower RSS upper bound is the big lever: only towers near the
   // phone ever get a temporal deviate drawn.
-  EXPECT_LT(total.sampled, total.towers / 4);
+  EXPECT_LT(total.towers_accepted, total.towers_considered / 4);
 }
 
 // --------------------------------------------------- Goertzel bank identity
