@@ -8,6 +8,12 @@
 # additionally builds the concurrency-sensitive suites (the concurrent
 # server and the async ingest service) under TSan in build-tsan/ and runs
 # the binaries directly. Off by default -- TSan builds are ~10x slower.
+#
+# Optional fault/fuzz stage: BUSSENSE_FAULTS=ON ./scripts/tier1.sh builds
+# the adversarial-input suites (fault injection + admission, golden
+# accuracy, serialization fuzz) under ASan+UBSan in build-asan/ and runs
+# the binaries directly, so the fuzzer's "no crash, no UB" contract is
+# checked by the sanitizers rather than by luck. Off by default.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
@@ -20,4 +26,13 @@ if [[ "${BUSSENSE_SANITIZE:-}" == "ON" ]]; then
   # ctest placeholders for the targets we skipped.
   ./build-tsan/tests/test_concurrency
   ./build-tsan/tests/test_ingest_service
+fi
+
+if [[ "${BUSSENSE_FAULTS:-}" == "ON" ]]; then
+  echo "==== tier-1 extra: ASan+UBSan (test_faults, test_golden_accuracy, test_fuzz_serialization) ===="
+  cmake -B build-asan -S . -DBUSSENSE_SANITIZE=address,undefined
+  cmake --build build-asan -j --target test_faults test_golden_accuracy test_fuzz_serialization
+  ./build-asan/tests/test_faults
+  ./build-asan/tests/test_golden_accuracy
+  ./build-asan/tests/test_fuzz_serialization
 fi

@@ -1,0 +1,133 @@
+// Admission control for trip uploads: the defense half of the fault story.
+//
+// Uploads come from uncontrolled phones, so a networked deployment must
+// assume hostile input — replayed uploads, absurd counts, shuffled or
+// skewed timestamps (src/faults/ injects exactly these). Before any
+// pipeline work is spent, every TrafficIngestor front end runs the upload
+// through one shared AdmissionController:
+//
+//   1. sanity bounds — sample count, per-fingerprint cell count, finite
+//      timestamps, total duration (kMalformed);
+//   2. time order — backward jumps beyond a tolerance are rejected
+//      (kNonMonotone); small inversions are tolerated because the matcher
+//      sorts anyway;
+//   3. duplicate detection — a bounded LRU of recent trip_signature()
+//      hashes refuses byte-identical replays (kDuplicate);
+//   4. clock-skew re-anchoring — a per-participant constant offset,
+//      estimated against the fusion watermark (the latest advance_time),
+//      is subtracted from the sample times of trips that end implausibly
+//      far from it. Correction, not rejection: the data is good, only the
+//      phone's clock is wrong.
+//
+// Rejections return TripReport{kRejected, reason} instead of throwing, and
+// every verdict is counted: ingest.admitted + Σ ingest.rejected.* ==
+// uploads submitted (tested). Re-anchoring only fires once a watermark
+// exists, so offline batch runs — which call advance_time() after the last
+// trip — are bit-identical with admission on or off for clean workloads
+// (property-tested). Skew state is processing-order dependent by nature;
+// duplicate detection is not (replays are byte-identical, so whichever
+// copy wins admission yields the same analysis).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/sim_time.h"
+#include "core/traffic_ingestor.h"
+#include "obs/metrics.h"
+#include "sensing/trip.h"
+
+namespace bussense {
+
+struct AdmissionConfig {
+  /// Off by default: the historical trusting pipeline. ServerConfig embeds
+  /// this struct; all three front ends honour it.
+  bool enabled = false;
+
+  /// Replay window: how many recent upload signatures the LRU remembers.
+  /// 0 disables duplicate detection.
+  std::size_t dedup_capacity = 4096;
+
+  /// Sample-count bounds. Uploads below min_samples (e.g. empty) carry no
+  /// usable signal; above max_samples they are a memory-exhaustion vector.
+  std::size_t min_samples = 1;
+  std::size_t max_samples = 100000;
+
+  /// A scan sees a handful of towers; a fingerprint beyond this is bogus.
+  std::size_t max_fingerprint_cells = 64;
+
+  /// Largest tolerated backward timestamp step within an upload. Small
+  /// inversions are lossy-link reordering (the matcher sorts them away);
+  /// beyond this the sequence is garbage.
+  double max_out_of_order_s = 120.0;
+
+  /// Longest plausible single trip (first to last sample).
+  double max_trip_duration_s = 6.0 * 3600.0;
+
+  /// Clock-skew re-anchoring threshold: a trip ending further than this
+  /// from the fusion watermark has its participant's offset re-estimated
+  /// and subtracted. 0 disables re-anchoring.
+  double max_clock_skew_s = 1800.0;
+
+  /// Bound on the per-participant skew table (hostile participant ids must
+  /// not grow it without limit); on overflow the table resets.
+  std::size_t skew_state_capacity = 65536;
+
+  /// Throws std::invalid_argument on nonsense (zero/negative bounds,
+  /// min_samples > max_samples).
+  void validate() const;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Registers the ingest.admitted / ingest.rejected.* /
+  /// ingest.skew_corrected instruments; null unbinds (no-op recording).
+  void bind_metrics(MetricsRegistry* registry);
+
+  /// Runs the checks above. Returns kNone on admission, with `use`
+  /// pointing at the upload the pipeline should analyse — `trip` itself,
+  /// or `corrected` when a clock-skew offset was subtracted. On rejection
+  /// `use` is left pointing at `trip`. Thread-safe.
+  RejectReason admit(const TripUpload& trip, TripUpload& corrected,
+                     const TripUpload*& use);
+
+  /// Advances the fusion watermark (called from advance_time). The
+  /// watermark only moves forward.
+  void observe_time(SimTime now);
+
+  /// Latest watermark, or -infinity before the first observe_time().
+  SimTime watermark() const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  RejectReason check_shape(const TripUpload& trip, SimTime* begin,
+                           SimTime* end) const;
+  bool note_signature(std::uint64_t signature);  ///< false when a replay
+
+  AdmissionConfig config_;
+
+  mutable std::mutex mutex_;
+  // Signature LRU: recency list + signature → list position.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> seen_;
+  std::unordered_map<std::int32_t, double> skew_offset_s_;
+  SimTime watermark_ = 0.0;
+  bool have_watermark_ = false;
+
+  struct Instruments {
+    Counter* admitted = nullptr;
+    Counter* rejected_duplicate = nullptr;
+    Counter* rejected_malformed = nullptr;
+    Counter* rejected_non_monotone = nullptr;
+    Counter* skew_corrected = nullptr;
+  };
+  Instruments inst_;
+};
+
+}  // namespace bussense

@@ -59,8 +59,23 @@ ConcurrentTrafficServer::ThreadBatch& ConcurrentTrafficServer::local_batch() {
 
 TripReport ConcurrentTrafficServer::process_trip(const TripUpload& trip) {
   const double start = inst_.trip_s ? monotonic_time_s() : 0.0;
+  // Admission first, through the inner server's shared controller, so
+  // dedup/skew state is pipeline-wide whichever front end receives the
+  // upload. The controller serialises its own state; the analysis below
+  // stays lock-free.
+  const TripUpload* use = &trip;
+  TripUpload corrected;
+  if (AdmissionController* admission = inner_.admission()) {
+    const RejectReason why = admission->admit(trip, corrected, use);
+    if (why != RejectReason::kNone) {
+      TripReport rejected;
+      rejected.outcome = IngestOutcome::kRejected;
+      rejected.reject_reason = why;
+      return rejected;
+    }
+  }
   // Lock-free analysis against immutable state...
-  TripReport report = inner_.analyze_trip(trip);
+  TripReport report = inner_.analyze_trip(*use);
   // ...then buffer the estimates thread-locally; the striped fusion is only
   // touched when a whole batch is ready.
   if (!report.estimates.empty()) {
@@ -106,6 +121,9 @@ void ConcurrentTrafficServer::flush_batches() {
 }
 
 void ConcurrentTrafficServer::advance_time(SimTime now) {
+  if (AdmissionController* admission = inner_.admission()) {
+    admission->observe_time(now);
+  }
   flush_batches();
   fusion_.flush_until(now);
 }

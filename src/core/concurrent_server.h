@@ -69,6 +69,11 @@ class ConcurrentTrafficServer : public TrafficIngestor {
   /// Shared registry (thread-safe instruments; see TrafficServer).
   MetricsRegistry& metrics_registry() { return inner_.metrics_registry(); }
 
+  /// The pipeline-wide admission stage (null when disabled); lives in the
+  /// inner server so serial and concurrent uploads share dedup/skew state.
+  AdmissionController* admission() { return inner_.admission(); }
+  const AdmissionController* admission() const { return inner_.admission(); }
+
   const SegmentCatalog& catalog() const override { return inner_.catalog(); }
   /// The shared fusion state (striped, safe to query concurrently).
   const StripedSpeedFusion& fusion() const { return fusion_; }

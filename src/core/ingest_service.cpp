@@ -114,8 +114,12 @@ IngestService::Item IngestService::pop_locked(
 
 void IngestService::process_item(Item& item) {
   try {
-    backend_.process_trip(item.trip);
-    if (inst_.processed) inst_.processed->inc();
+    const TripReport report = backend_.process_trip(item.trip);
+    // Admission rejections (duplicate/malformed/skew bounds) surface here
+    // rather than at enqueue time — the queued path admits on the worker.
+    // They are already counted under ingest.rejected.* by the controller,
+    // so ingest.processed keeps meaning "ran the full pipeline".
+    if (report.accepted() && inst_.processed) inst_.processed->inc();
     if (inst_.queue_latency_s) {
       inst_.queue_latency_s->record(monotonic_time_s() - item.enqueued_at);
     }

@@ -28,6 +28,12 @@
 // the queue to new uploads, lets the workers finish every queued trip,
 // then flushes the per-thread fusion batches so no accepted estimate is
 // lost.
+//
+// Admission control (ServerConfig::admission, core/admission.h) runs on
+// the worker when the queued upload reaches the backend — not at enqueue
+// time — so process_trip() still answers immediately. Admission verdicts
+// land in the ingest.rejected.* counters; ingest.processed counts only
+// uploads that ran the full pipeline.
 #pragma once
 
 #include <condition_variable>

@@ -1,6 +1,9 @@
 #include "core/serialization.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,6 +13,15 @@ namespace {
 
 constexpr const char* kDbHeader = "bussense-stopdb v1";
 constexpr const char* kTripsHeader = "bussense-trips v1";
+
+// Hostile-input bounds (the fuzz suite drives these): a count field or a
+// fingerprint longer than any real upload is an attack on the allocator,
+// not data. Loaders must reject it *before* committing memory.
+constexpr std::size_t kMaxSamplesPerTrip = 1u << 20;
+constexpr std::size_t kMaxCellsPerFingerprint = 4096;
+// Never trust a count field for allocation; grow from a small floor and
+// let push_back pay as real lines actually arrive.
+constexpr std::size_t kMaxTrustedReserve = 1024;
 
 std::string join_cells(const Fingerprint& fp) {
   return fp.empty() ? "-" : to_string(fp);
@@ -22,10 +34,21 @@ Fingerprint parse_cells(const std::string& field) {
   std::string token;
   while (std::getline(ss, token, ',')) {
     try {
-      fp.cells.push_back(static_cast<CellId>(std::stol(token)));
+      std::size_t parsed = 0;
+      const long value = std::stol(token, &parsed);
+      // stol("12x") happily returns 12; partially numeric tokens are
+      // corruption, not data.
+      if (parsed != token.size()) throw std::runtime_error("trailing junk");
+      fp.cells.push_back(static_cast<CellId>(value));
     } catch (const std::exception&) {
       throw std::runtime_error("serialization: bad cell id '" + token + "'");
     }
+    if (fp.cells.size() > kMaxCellsPerFingerprint) {
+      throw std::runtime_error("serialization: fingerprint too long");
+    }
+  }
+  if (fp.cells.empty()) {
+    throw std::runtime_error("serialization: empty cell list '" + field + "'");
   }
   return fp;
 }
@@ -53,6 +76,9 @@ StopDatabase load_stop_database(std::istream& is) {
     long stop = 0;
     if (!(ss >> keyword >> stop >> cells) || keyword != "stop") {
       throw std::runtime_error("serialization: bad stop-db line: " + line);
+    }
+    if (stop < 0 || stop > std::numeric_limits<StopId>::max()) {
+      throw std::runtime_error("serialization: stop id out of range: " + line);
     }
     db.add(static_cast<StopId>(stop), parse_cells(cells));
   }
@@ -85,12 +111,21 @@ std::vector<TripUpload> load_trips(std::istream& is) {
       throw std::runtime_error("serialization: expected trip line: " + line);
     }
     TripUpload trip;
-    std::size_t samples = 0;
+    long long samples = 0;
     if (!(ss >> trip.participant_id >> samples)) {
       throw std::runtime_error("serialization: bad trip line: " + line);
     }
-    trip.samples.reserve(samples);
-    for (std::size_t i = 0; i < samples; ++i) {
+    // The count field is attacker-controlled: a negative value would wrap
+    // to huge through std::size_t, and a huge one is an overcommit
+    // allocation with no bytes behind it. Bound it before any reserve.
+    if (samples < 0 ||
+        static_cast<std::size_t>(samples) > kMaxSamplesPerTrip) {
+      throw std::runtime_error("serialization: sample count out of bounds: " +
+                               line);
+    }
+    const auto count = static_cast<std::size_t>(samples);
+    trip.samples.reserve(std::min(count, kMaxTrustedReserve));
+    for (std::size_t i = 0; i < count; ++i) {
       if (!std::getline(is, line)) {
         throw std::runtime_error("serialization: truncated trip");
       }
@@ -99,6 +134,10 @@ std::vector<TripUpload> load_trips(std::istream& is) {
       CellularSample sample;
       if (!(sl >> keyword >> sample.time >> cells) || keyword != "sample") {
         throw std::runtime_error("serialization: bad sample line: " + line);
+      }
+      if (!std::isfinite(sample.time)) {
+        throw std::runtime_error("serialization: non-finite sample time: " +
+                                 line);
       }
       sample.fingerprint = parse_cells(cells);
       trip.samples.push_back(std::move(sample));

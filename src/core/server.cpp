@@ -29,6 +29,7 @@ void ServerConfig::validate() const {
     throw std::invalid_argument(
         "ServerConfig: fusion.process_noise_per_s must be >= 0");
   }
+  admission.validate();
 }
 
 TrafficServer::TrafficServer(const City& city, StopDatabase database,
@@ -44,6 +45,9 @@ TrafficServer::TrafficServer(const City& city, StopDatabase database,
       fusion_(config_.fusion),
       metrics_(std::make_unique<MetricsRegistry>()) {
   config_.validate();
+  if (config_.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(config_.admission);
+  }
   if (config_.obs.enabled) {
     inst_.trips = &metrics_->counter("pipeline.trips");
     inst_.samples_considered = &metrics_->counter("pipeline.samples_considered");
@@ -58,6 +62,7 @@ TrafficServer::TrafficServer(const City& city, StopDatabase database,
     inst_.fold_s = &metrics_->histogram("fusion.fold_s");
     inst_.trip_s = &metrics_->histogram("pipeline.trip_s");
     matcher_.bind_metrics(metrics_.get());
+    if (admission_) admission_->bind_metrics(metrics_.get());
   }
 }
 
@@ -156,7 +161,18 @@ void TrafficServer::ingest(const std::vector<SpeedEstimate>& estimates) {
 
 TrafficServer::TripReport TrafficServer::process_trip(const TripUpload& trip) {
   const double start = inst_.trip_s ? monotonic_time_s() : 0.0;
-  TripReport report = analyze_trip(trip);
+  const TripUpload* use = &trip;
+  TripUpload corrected;
+  if (admission_) {
+    const RejectReason why = admission_->admit(trip, corrected, use);
+    if (why != RejectReason::kNone) {
+      TripReport rejected;
+      rejected.outcome = IngestOutcome::kRejected;
+      rejected.reject_reason = why;
+      return rejected;
+    }
+  }
+  TripReport report = analyze_trip(*use);
   ingest(report.estimates);
   ++trips_processed_;
   if (inst_.trip_s) {

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "citynet/city.h"
+#include "core/admission.h"
 #include "core/clustering.h"
 #include "core/fusion.h"
 #include "core/route_graph.h"
@@ -51,6 +52,12 @@ struct ServerConfig {
     bool enabled = true;
   };
   Observability obs;
+
+  /// Admission control (core/admission.h): replay dedup, sanity bounds and
+  /// clock-skew re-anchoring before any pipeline work. Off by default; on
+  /// a clean workload the pipeline is bit-identical with it on or off
+  /// (property-tested), so enabling it only ever costs the checks.
+  AdmissionConfig admission;
 
   /// Validates the whole nested config tree (matcher scores, clustering
   /// scales, fusion periods); throws std::invalid_argument on nonsense
@@ -96,8 +103,17 @@ class TrafficServer : public TrafficIngestor {
     return map_trip(clusters);
   }
 
-  void advance_time(SimTime now) override { fusion_.flush_until(now); }
+  void advance_time(SimTime now) override {
+    if (admission_) admission_->observe_time(now);
+    fusion_.flush_until(now);
+  }
   TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const override;
+
+  /// The shared admission stage; null when ServerConfig::admission is
+  /// disabled. The concurrent front end routes its uploads through this
+  /// same controller so dedup/skew state is pipeline-wide.
+  AdmissionController* admission() { return admission_.get(); }
+  const AdmissionController* admission() const { return admission_.get(); }
 
   const MetricsRegistry& metrics() const override { return *metrics_; }
   /// Mutable registry access (front ends layered on top register their own
@@ -121,6 +137,7 @@ class TrafficServer : public TrafficIngestor {
   TripMapper mapper_;
   TravelEstimator estimator_;
   SpeedFusion fusion_;
+  std::unique_ptr<AdmissionController> admission_;
   std::uint64_t trips_processed_ = 0;
 
   // Observability: instruments cached at construction; all null-checked so

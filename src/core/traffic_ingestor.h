@@ -44,11 +44,16 @@ enum class IngestOutcome : std::uint8_t {
   kRejected,   ///< not accepted — see TripReport::reject_reason
 };
 
-/// Why an upload was rejected (backpressure semantics, DESIGN.md §8).
+/// Why an upload was rejected. kQueueFull/kShutdown are backpressure
+/// (DESIGN.md §8); the rest are admission-control verdicts on the upload
+/// itself (DESIGN.md §9) — counted under ingest.rejected.*.
 enum class RejectReason : std::uint8_t {
-  kNone,       ///< not rejected
-  kQueueFull,  ///< bounded queue at capacity under the kReject policy
-  kShutdown,   ///< service is shutting down / already shut down
+  kNone,         ///< not rejected
+  kQueueFull,    ///< bounded queue at capacity under the kReject policy
+  kShutdown,     ///< service is shutting down / already shut down
+  kDuplicate,    ///< replay of a recently admitted upload (signature LRU)
+  kMalformed,    ///< sample-count/fingerprint-size/duration bounds violated
+  kNonMonotone,  ///< sample timestamps disordered beyond tolerance
 };
 
 inline const char* to_string(IngestOutcome o) {
@@ -65,6 +70,9 @@ inline const char* to_string(RejectReason r) {
     case RejectReason::kNone: return "none";
     case RejectReason::kQueueFull: return "queue_full";
     case RejectReason::kShutdown: return "shutdown";
+    case RejectReason::kDuplicate: return "duplicate";
+    case RejectReason::kMalformed: return "malformed";
+    case RejectReason::kNonMonotone: return "non_monotone";
   }
   return "?";
 }

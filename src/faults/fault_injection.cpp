@@ -1,0 +1,220 @@
+#include "faults/fault_injection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace bussense {
+
+namespace {
+
+// Substream salts: per-participant skew and the batch-level reorder must
+// not collide with the per-trip streams, which use the plan seed directly.
+constexpr std::uint64_t kSkewSalt = 0x5ca1edc10c4b17e5ULL;
+constexpr std::uint64_t kReorderSalt = 0xba7c40fde11e7ULL;
+
+// Bogus tower ids land far outside any generated deployment (the simulated
+// city numbers towers densely from 0; test fixtures use the 9e5 range for
+// "towers that exist nowhere").
+constexpr CellId kBogusCellBase = 900000;
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("FaultPlan: ") + what);
+}
+
+void require_prob(double p, const char* what) {
+  require(p >= 0.0 && p <= 1.0, what);
+}
+
+/// The constant clock offset of `participant` under `plan` (0 when the
+/// participant's clock is healthy). Hashed from (seed, participant) only,
+/// so every trip of the participant agrees.
+double participant_clock_offset(const FaultPlan& plan,
+                                std::int32_t participant) {
+  if (plan.clock_skew_prob <= 0.0 || plan.clock_skew_max_s <= 0.0) return 0.0;
+  Rng rng = Rng::stream(plan.seed ^ kSkewSalt,
+                        static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(participant)));
+  if (!rng.bernoulli(plan.clock_skew_prob)) return 0.0;
+  return rng.uniform(-plan.clock_skew_max_s, plan.clock_skew_max_s);
+}
+
+}  // namespace
+
+bool FaultPlan::is_identity() const {
+  return duplicate_prob == 0.0 && clock_skew_prob == 0.0 &&
+         jitter_prob == 0.0 && truncate_prob == 0.0 && shuffle_prob == 0.0 &&
+         tower_drop_prob == 0.0 && tower_inject_prob == 0.0 && !reorder_batch;
+}
+
+void FaultPlan::validate() const {
+  require_prob(duplicate_prob, "duplicate_prob must be in [0, 1]");
+  require_prob(clock_skew_prob, "clock_skew_prob must be in [0, 1]");
+  require_prob(jitter_prob, "jitter_prob must be in [0, 1]");
+  require_prob(truncate_prob, "truncate_prob must be in [0, 1]");
+  require_prob(shuffle_prob, "shuffle_prob must be in [0, 1]");
+  require_prob(tower_drop_prob, "tower_drop_prob must be in [0, 1]");
+  require_prob(tower_inject_prob, "tower_inject_prob must be in [0, 1]");
+  require_prob(cell_drop_fraction, "cell_drop_fraction must be in [0, 1]");
+  require_prob(cell_inject_fraction, "cell_inject_fraction must be in [0, 1]");
+  require(clock_skew_max_s >= 0.0, "clock_skew_max_s must be >= 0");
+  require(jitter_sigma_s >= 0.0, "jitter_sigma_s must be >= 0");
+  require(truncate_min_keep > 0.0 && truncate_min_keep <= 1.0,
+          "truncate_min_keep must be in (0, 1]");
+}
+
+FaultPlan FaultPlan::standard(std::uint64_t seed, double rate) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.duplicate_prob = rate;
+  plan.clock_skew_prob = rate;
+  plan.clock_skew_max_s = 1800.0;
+  plan.jitter_prob = rate;
+  plan.jitter_sigma_s = 2.0;
+  plan.truncate_prob = rate;
+  plan.shuffle_prob = rate;
+  plan.tower_drop_prob = rate;
+  plan.tower_inject_prob = rate;
+  plan.reorder_batch = true;
+  plan.validate();
+  return plan;
+}
+
+void FaultStats::register_into(MetricsRegistry& registry) const {
+  registry.counter("faults.injected.duplicate").add(duplicated);
+  registry.counter("faults.injected.clock_skew").add(skewed);
+  registry.counter("faults.injected.jitter").add(jittered);
+  registry.counter("faults.injected.truncate").add(truncated);
+  registry.counter("faults.injected.shuffle").add(shuffled);
+  registry.counter("faults.injected.cells_dropped").add(cells_dropped);
+  registry.counter("faults.injected.cells_injected").add(cells_injected);
+  registry.counter("faults.injected.batch_reorder").add(batch_reordered);
+  registry.counter("faults.injected.corrupted_trips").add(corrupted_trips);
+}
+
+std::vector<TripUpload> inject_faults(std::vector<TripUpload> trips,
+                                      const FaultPlan& plan,
+                                      FaultStats* stats,
+                                      std::uint64_t first_index) {
+  plan.validate();
+  FaultStats local;
+  local.trips_in = trips.size();
+
+  std::vector<TripUpload> replays;
+  for (std::size_t i = 0; i < trips.size(); ++i) {
+    TripUpload& trip = trips[i];
+    // One substream per trip, consumed in a fixed injector order. The
+    // selection draw for every injector happens unconditionally so a
+    // trip's corruption never depends on which *other* trips were
+    // selected (only on the plan's own knobs).
+    Rng rng = Rng::stream(plan.seed, first_index + i);
+    bool corrupted = false;
+
+    const double offset = participant_clock_offset(plan, trip.participant_id);
+    if (offset != 0.0 && !trip.samples.empty()) {
+      for (CellularSample& s : trip.samples) s.time += offset;
+      ++local.skewed;
+      corrupted = true;
+    }
+
+    if (rng.bernoulli(plan.jitter_prob) && plan.jitter_sigma_s > 0.0 &&
+        !trip.samples.empty()) {
+      for (CellularSample& s : trip.samples) {
+        s.time += rng.normal(0.0, plan.jitter_sigma_s);
+      }
+      ++local.jittered;
+      corrupted = true;
+    }
+
+    if (rng.bernoulli(plan.truncate_prob) && trip.samples.size() > 1) {
+      const double keep_fraction =
+          rng.uniform(plan.truncate_min_keep, 1.0);
+      const auto keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 keep_fraction * static_cast<double>(trip.samples.size())));
+      if (keep < trip.samples.size()) {
+        trip.samples.resize(keep);
+        ++local.truncated;
+        corrupted = true;
+      }
+    }
+
+    if (rng.bernoulli(plan.shuffle_prob) && trip.samples.size() > 1) {
+      // Fisher–Yates with the trip's own substream (std::shuffle's draw
+      // count is implementation-defined; this stays reproducible).
+      for (std::size_t k = trip.samples.size() - 1; k > 0; --k) {
+        const auto j = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(k)));
+        std::swap(trip.samples[k], trip.samples[j]);
+      }
+      ++local.shuffled;
+      corrupted = true;
+    }
+
+    if (rng.bernoulli(plan.tower_drop_prob)) {
+      std::uint64_t dropped = 0;
+      for (CellularSample& s : trip.samples) {
+        auto& cells = s.fingerprint.cells;
+        for (std::size_t c = cells.size(); c-- > 0;) {
+          if (rng.bernoulli(plan.cell_drop_fraction)) {
+            cells.erase(cells.begin() + static_cast<std::ptrdiff_t>(c));
+            ++dropped;
+          }
+        }
+      }
+      if (dropped > 0) {
+        local.cells_dropped += dropped;
+        corrupted = true;
+      }
+    }
+
+    if (rng.bernoulli(plan.tower_inject_prob)) {
+      std::uint64_t injected = 0;
+      for (CellularSample& s : trip.samples) {
+        if (!rng.bernoulli(plan.cell_inject_fraction)) continue;
+        auto& cells = s.fingerprint.cells;
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(cells.size())));
+        cells.insert(cells.begin() + static_cast<std::ptrdiff_t>(pos),
+                     kBogusCellBase + rng.uniform_int(0, 99999));
+        ++injected;
+      }
+      if (injected > 0) {
+        local.cells_injected += injected;
+        corrupted = true;
+      }
+    }
+
+    if (rng.bernoulli(plan.duplicate_prob)) {
+      // Replay the upload exactly as it went out (post-corruption): a
+      // retrying phone resends the same bytes. Appended after the loop so
+      // per-trip stream indices stay aligned with the input batch.
+      replays.push_back(trip);
+      ++local.duplicated;
+      corrupted = true;
+    }
+
+    if (corrupted) ++local.corrupted_trips;
+  }
+
+  for (TripUpload& replay : replays) trips.push_back(std::move(replay));
+
+  if (plan.reorder_batch && trips.size() > 1) {
+    Rng rng = Rng::stream(plan.seed ^ kReorderSalt, trips.size());
+    for (std::size_t k = trips.size() - 1; k > 0; --k) {
+      const auto j =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(k)));
+      std::swap(trips[k], trips[j]);
+    }
+    local.batch_reordered = 1;
+  }
+
+  local.trips_out = trips.size();
+  if (stats) *stats = local;
+  return trips;
+}
+
+}  // namespace bussense

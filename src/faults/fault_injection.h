@@ -1,0 +1,119 @@
+// Deterministic fault injection for trip uploads.
+//
+// The backend ingests uploads from uncontrolled participant phones, so real
+// deployments see trips that arrive late, duplicated, clock-skewed,
+// truncated, shuffled, or carrying garbage fingerprints (the paper's §V
+// reports non-beep false triggers and missed detections). This layer turns
+// those failure modes into a composable, seed-driven corruption pass over a
+// batch of uploads, so tests and benches can measure how the hardened
+// ingest path degrades — and pin that degradation.
+//
+// Determinism contract: every per-trip corruption is drawn from the
+// order-independent substream Rng::stream(plan.seed, first_index + i), and
+// per-participant decisions (clock skew) are hashed from
+// (plan.seed, participant_id) alone. Corrupting trip i therefore does not
+// depend on how many other trips are in the batch or on any previous
+// injector draws — inject_faults({t}, plan, first_index = i) reproduces
+// exactly what inject_faults(batch, plan) did to batch[i]
+// (property-tested). The only batch-level injector is the final delivery
+// reorder, which permutes the output vector as a whole.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sensing/trip.h"
+
+namespace bussense {
+
+/// Which corruptions to apply, and how hard. A default-constructed plan is
+/// the identity (property-tested). Probabilities are per trip unless noted;
+/// the inner *_fraction knobs control how much of a selected trip is
+/// corrupted.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Replayed uploads: the corrupted trip is appended again at the end of
+  /// the batch, byte-identical — exactly what a phone retrying over a flaky
+  /// link produces.
+  double duplicate_prob = 0.0;
+
+  /// Per-*participant* constant clock offset, uniform in ±clock_skew_max_s.
+  /// Hashed from (seed, participant_id): every trip of a skewed participant
+  /// shifts by the same offset, matching a miscalibrated phone clock.
+  double clock_skew_prob = 0.0;
+  double clock_skew_max_s = 1800.0;
+
+  /// Per-sample timestamp jitter (normal, sigma seconds) on selected trips.
+  double jitter_prob = 0.0;
+  double jitter_sigma_s = 2.0;
+
+  /// Truncation: a selected trip keeps only a prefix of its samples, with
+  /// the kept fraction uniform in [truncate_min_keep, 1).
+  double truncate_prob = 0.0;
+  double truncate_min_keep = 0.25;
+
+  /// Sample-order shuffle (lossy-link delivery reordering) on selected
+  /// trips.
+  double shuffle_prob = 0.0;
+
+  /// Fingerprint corruption on selected trips: each cell of each sample is
+  /// dropped with probability cell_drop_fraction / a bogus tower id is
+  /// inserted at a random rank with probability cell_inject_fraction.
+  double tower_drop_prob = 0.0;
+  double cell_drop_fraction = 0.3;
+  double tower_inject_prob = 0.0;
+  double cell_inject_fraction = 0.3;
+
+  /// Out-of-order batch delivery: permute the whole output batch
+  /// (including appended duplicates). The one batch-level injector.
+  bool reorder_batch = false;
+
+  /// True when the plan corrupts nothing — inject_faults() is then the
+  /// identity on any input.
+  bool is_identity() const;
+
+  /// Throws std::invalid_argument on nonsense (probabilities outside
+  /// [0, 1], negative magnitudes, truncate_min_keep outside (0, 1]).
+  void validate() const;
+
+  /// The standard adversarial mix used by the golden degradation tests and
+  /// bench_faults: every per-trip injector at probability `rate`, skewed
+  /// clocks up to ±30 min, plus batch reorder.
+  static FaultPlan standard(std::uint64_t seed, double rate);
+};
+
+/// What a corruption pass actually did (for accounting and the
+/// faults.injected.* metrics).
+struct FaultStats {
+  std::uint64_t trips_in = 0;
+  std::uint64_t trips_out = 0;
+  std::uint64_t duplicated = 0;       ///< trips appended again
+  std::uint64_t skewed = 0;           ///< trips shifted by a participant offset
+  std::uint64_t jittered = 0;         ///< trips with per-sample jitter
+  std::uint64_t truncated = 0;        ///< trips that lost a suffix
+  std::uint64_t shuffled = 0;         ///< trips with sample order permuted
+  std::uint64_t cells_dropped = 0;    ///< fingerprint cells removed
+  std::uint64_t cells_injected = 0;   ///< bogus tower ids inserted
+  std::uint64_t batch_reordered = 0;  ///< 1 when the batch was permuted
+
+  /// Number of trips that were corrupted in at least one way (duplicates
+  /// count via their original).
+  std::uint64_t corrupted_trips = 0;
+
+  /// Publishes the counts as faults.injected.* counters (adds to whatever
+  /// is already there, so repeated passes accumulate).
+  void register_into(MetricsRegistry& registry) const;
+};
+
+/// Applies `plan` to the batch. Returns the corrupted batch; `stats` (when
+/// non-null) receives the injection accounting. `first_index` offsets the
+/// per-trip substream indices so a sub-batch can reproduce a slice of a
+/// larger batch's corruption (see the determinism contract above).
+std::vector<TripUpload> inject_faults(std::vector<TripUpload> trips,
+                                      const FaultPlan& plan,
+                                      FaultStats* stats = nullptr,
+                                      std::uint64_t first_index = 0);
+
+}  // namespace bussense

@@ -16,6 +16,8 @@ namespace bussense {
 struct CellularSample {
   SimTime time = 0.0;
   Fingerprint fingerprint;
+
+  friend bool operator==(const CellularSample&, const CellularSample&) = default;
 };
 
 struct TripUpload {
@@ -23,6 +25,7 @@ struct TripUpload {
   std::vector<CellularSample> samples;
 
   bool empty() const { return samples.empty(); }
+  friend bool operator==(const TripUpload&, const TripUpload&) = default;
 };
 
 /// Evaluation-only annotations produced by the simulator.

@@ -1,0 +1,27 @@
+#include "sensing/trip_signature.h"
+
+#include <bit>
+
+#include "common/rng.h"
+
+namespace bussense {
+
+std::uint64_t trip_signature(const TripUpload& trip) {
+  std::uint64_t h =
+      mix64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+          trip.participant_id)) ^
+            (static_cast<std::uint64_t>(trip.samples.size()) << 32));
+  for (const CellularSample& sample : trip.samples) {
+    h = mix64(h ^ std::bit_cast<std::uint64_t>(sample.time));
+    // Chain the length before the cells so ({1,2},{3}) and ({1},{2,3})
+    // cannot alias.
+    h = mix64(h ^ sample.fingerprint.cells.size());
+    for (const CellId cell : sample.fingerprint.cells) {
+      h = mix64(h ^ static_cast<std::uint64_t>(
+                        static_cast<std::uint32_t>(cell)));
+    }
+  }
+  return h;
+}
+
+}  // namespace bussense

@@ -1,0 +1,21 @@
+// Content signature of a trip upload, for duplicate/replay detection.
+//
+// A retrying phone resends the same upload byte for byte, so the admission
+// stage (core/admission.h) fingerprints each upload with a 64-bit hash of
+// its full content — participant id, every sample timestamp (bit pattern,
+// so ±0.0 and NaN payloads cannot alias) and every fingerprint cell — and
+// keeps recent signatures in a bounded LRU. Equal uploads always collide by
+// construction; unequal uploads collide with probability ~2⁻⁶⁴, which over
+// any realistic dedup window is negligible next to the sensing noise floor.
+#pragma once
+
+#include <cstdint>
+
+#include "sensing/trip.h"
+
+namespace bussense {
+
+/// Order-sensitive 64-bit content hash of the upload (mix64 chaining).
+std::uint64_t trip_signature(const TripUpload& trip);
+
+}  // namespace bussense

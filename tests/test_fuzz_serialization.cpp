@@ -1,0 +1,383 @@
+// Deterministic fuzz suite for the serialization loaders.
+//
+// The loaders parse attacker-controlled bytes (uploads cross a network in a
+// real deployment), so the contract in core/serialization.h is fuzz-shaped:
+// for ANY input, load_trips / load_stop_database either
+//
+//   (a) throws std::runtime_error, or
+//   (b) returns a value that re-serialises to a loadable FIXED-POINT
+//       document (save → load → save reproduces the same bytes),
+//
+// and never crashes, hangs, corrupts memory or throws anything else. The
+// fuzzer below drives ≥ 10k seeded mutations of valid corpora through that
+// contract; scripts/tier1.sh re-runs it under ASan/UBSan (BUSSENSE_FAULTS=ON)
+// so "no UB" is checked by the sanitizers, not by luck. Directed regressions
+// at the end pin the hostile inputs that motivated the bounds (count-field
+// overcommit, non-finite times, fingerprint bombs, trailing-junk numbers).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/serialization.h"
+#include "core/stop_database.h"
+
+namespace bussense {
+namespace {
+
+constexpr int kMutationsPerLoader = 6000;  // 12k total, ≥ 10k required
+
+// ------------------------------------------------------------------ corpora
+
+std::string trips_corpus() {
+  std::vector<TripUpload> trips;
+  Rng rng(4242);
+  for (int t = 0; t < 14; ++t) {
+    TripUpload trip;
+    trip.participant_id = t * 3 - 5;  // include negative ids
+    const int samples = rng.uniform_int(0, 9);
+    double time = rng.uniform(0.0, 86400.0);
+    for (int s = 0; s < samples; ++s) {
+      time += rng.uniform(1.0, 30.0);
+      CellularSample sample;
+      sample.time = time;
+      if (rng.bernoulli(0.9)) {  // leave some fingerprints empty ("-")
+        const int cells = rng.uniform_int(1, 6);
+        for (int c = 0; c < cells; ++c) {
+          sample.fingerprint.cells.push_back(rng.uniform_int(1, 4000));
+        }
+      }
+      trip.samples.push_back(std::move(sample));
+    }
+    trips.push_back(std::move(trip));
+  }
+  std::stringstream ss;
+  save_trips(trips, ss);
+  return ss.str();
+}
+
+std::string stopdb_corpus() {
+  StopDatabase db;
+  Rng rng(1717);
+  for (int s = 0; s < 40; ++s) {
+    Fingerprint fp;
+    const int cells = rng.uniform_int(0, 7);
+    for (int c = 0; c < cells; ++c) {
+      fp.cells.push_back(rng.uniform_int(1, 4000));
+    }
+    db.add(s, fp);
+  }
+  std::stringstream ss;
+  save_stop_database(db, ss);
+  return ss.str();
+}
+
+// ----------------------------------------------------------------- mutator
+
+std::vector<std::string> split_lines(const std::string& doc) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::stringstream ss(doc);
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string doc;
+  for (const std::string& line : lines) {
+    doc += line;
+    doc += '\n';
+  }
+  return doc;
+}
+
+char random_byte(Rng& rng) {
+  static const std::string pool =
+      "0123456789-,.eE+ \t\nstopsampletripv#xyz\x01\x7f";
+  return pool[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<int>(pool.size()) - 1))];
+}
+
+std::string mutate(std::string doc, Rng& rng) {
+  static const std::vector<std::string> hostile_tokens = {
+      "-5",
+      "99999999999999",
+      "18446744073709551616",
+      "nan",
+      "inf",
+      "-inf",
+      "1e999",
+      "12x",
+      "1,,2",
+      "-",
+      "",
+      "0x10",
+      "2147483648",
+      "trip 0 1048577",
+      "stop -2 1,2",
+  };
+  const int edits = rng.uniform_int(1, 4);
+  for (int e = 0; e < edits; ++e) {
+    if (doc.empty()) doc = "x";
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(doc.size()) - 1));
+    switch (rng.uniform_int(0, 7)) {
+      case 0:  // flip one byte
+        doc[pos] = random_byte(rng);
+        break;
+      case 1:  // insert one byte
+        doc.insert(doc.begin() + static_cast<std::ptrdiff_t>(pos),
+                   random_byte(rng));
+        break;
+      case 2:  // delete one byte
+        doc.erase(pos, 1);
+        break;
+      case 3:  // truncate (simulated cut-off upload)
+        doc.resize(pos);
+        break;
+      case 4: {  // duplicate a line
+        auto lines = split_lines(doc);
+        if (lines.empty()) break;
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(lines.size()) - 1));
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                     lines[at]);
+        doc = join_lines(lines);
+        break;
+      }
+      case 5: {  // delete a line
+        auto lines = split_lines(doc);
+        if (lines.empty()) break;
+        lines.erase(lines.begin() +
+                    rng.uniform_int(0, static_cast<int>(lines.size()) - 1));
+        doc = join_lines(lines);
+        break;
+      }
+      case 6: {  // swap two lines (field/record reordering)
+        auto lines = split_lines(doc);
+        if (lines.size() < 2) break;
+        const int a = rng.uniform_int(0, static_cast<int>(lines.size()) - 1);
+        const int b = rng.uniform_int(0, static_cast<int>(lines.size()) - 1);
+        std::swap(lines[static_cast<std::size_t>(a)],
+                  lines[static_cast<std::size_t>(b)]);
+        doc = join_lines(lines);
+        break;
+      }
+      default: {  // splice in a hostile token
+        const auto& token = hostile_tokens[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(hostile_tokens.size()) - 1))];
+        doc.insert(pos, token);
+        break;
+      }
+    }
+  }
+  return doc;
+}
+
+// ---------------------------------------------------------------- contract
+
+bool times_close(double a, double b) {
+  // One save/load cycle may round a full-precision double to the stream's
+  // 6 significant digits; after that the text is a fixed point.
+  return std::abs(a - b) <= 1e-5 * std::max(1.0, std::abs(a));
+}
+
+void check_trips_contract(const std::string& doc) {
+  std::vector<TripUpload> first;
+  try {
+    std::stringstream is(doc);
+    first = load_trips(is);
+  } catch (const std::runtime_error&) {
+    return;  // typed rejection is the other valid outcome
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "load_trips threw a non-contract exception: " << e.what()
+                  << "\ninput:\n"
+                  << doc;
+    return;
+  }
+  std::stringstream out1;
+  save_trips(first, out1);
+  const std::string text = out1.str();
+  std::vector<TripUpload> second;
+  try {
+    std::stringstream is(text);
+    second = load_trips(is);
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "accepted value failed to reload: " << e.what()
+                  << "\nreserialised:\n"
+                  << text << "\noriginal input:\n"
+                  << doc;
+    return;
+  }
+  std::stringstream out2;
+  save_trips(second, out2);
+  EXPECT_EQ(text, out2.str()) << "re-serialisation is not a fixed point";
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t t = 0; t < first.size(); ++t) {
+    EXPECT_EQ(second[t].participant_id, first[t].participant_id);
+    ASSERT_EQ(second[t].samples.size(), first[t].samples.size());
+    for (std::size_t s = 0; s < first[t].samples.size(); ++s) {
+      EXPECT_EQ(second[t].samples[s].fingerprint,
+                first[t].samples[s].fingerprint);
+      EXPECT_TRUE(
+          times_close(second[t].samples[s].time, first[t].samples[s].time))
+          << second[t].samples[s].time << " vs " << first[t].samples[s].time;
+    }
+  }
+}
+
+void check_stopdb_contract(const std::string& doc) {
+  StopDatabase first;
+  try {
+    std::stringstream is(doc);
+    first = load_stop_database(is);
+  } catch (const std::runtime_error&) {
+    return;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "load_stop_database threw a non-contract exception: "
+                  << e.what() << "\ninput:\n"
+                  << doc;
+    return;
+  }
+  std::stringstream out1;
+  save_stop_database(first, out1);
+  const std::string text = out1.str();
+  StopDatabase second;
+  try {
+    std::stringstream is(text);
+    second = load_stop_database(is);
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "accepted database failed to reload: " << e.what()
+                  << "\nreserialised:\n"
+                  << text << "\noriginal input:\n"
+                  << doc;
+    return;
+  }
+  // Stop ids and cell ids are integers: the round trip must be exact.
+  std::stringstream out2;
+  save_stop_database(second, out2);
+  EXPECT_EQ(text, out2.str());
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.records().size(); ++i) {
+    EXPECT_EQ(second.records()[i].stop, first.records()[i].stop);
+    EXPECT_EQ(second.records()[i].fingerprint, first.records()[i].fingerprint);
+  }
+}
+
+// -------------------------------------------------------------------- fuzz
+
+TEST(FuzzSerialization, CorporaRoundTripUnmutated) {
+  check_trips_contract(trips_corpus());
+  check_stopdb_contract(stopdb_corpus());
+  // And the corpora are actually accepted, not rejected.
+  std::stringstream trips_in(trips_corpus());
+  EXPECT_EQ(load_trips(trips_in).size(), 14u);
+  std::stringstream db_in(stopdb_corpus());
+  EXPECT_EQ(load_stop_database(db_in).size(), 40u);
+}
+
+TEST(FuzzSerialization, TripsLoaderSurvivesMutations) {
+  const std::string corpus = trips_corpus();
+  for (int i = 0; i < kMutationsPerLoader; ++i) {
+    Rng rng = Rng::stream(0xf022eull, static_cast<std::uint64_t>(i));
+    const std::string doc = mutate(corpus, rng);
+    check_trips_contract(doc);
+    if (HasFatalFailure()) {
+      ADD_FAILURE() << "mutation index " << i;
+      return;
+    }
+  }
+}
+
+TEST(FuzzSerialization, StopDatabaseLoaderSurvivesMutations) {
+  const std::string corpus = stopdb_corpus();
+  for (int i = 0; i < kMutationsPerLoader; ++i) {
+    Rng rng = Rng::stream(0x5700dbull, static_cast<std::uint64_t>(i));
+    const std::string doc = mutate(corpus, rng);
+    check_stopdb_contract(doc);
+    if (HasFatalFailure()) {
+      ADD_FAILURE() << "mutation index " << i;
+      return;
+    }
+  }
+}
+
+TEST(FuzzSerialization, MutationsAreDeterministic) {
+  const std::string corpus = trips_corpus();
+  for (int i : {0, 17, 4999}) {
+    Rng a = Rng::stream(0xf022eull, static_cast<std::uint64_t>(i));
+    Rng b = Rng::stream(0xf022eull, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(mutate(corpus, a), mutate(corpus, b));
+  }
+}
+
+// ------------------------------------------------------ directed regressions
+
+TEST(FuzzSerialization, RejectsHostileSampleCounts) {
+  // The count field is attacker-controlled; before the bound this was an
+  // overcommit allocation (reserve(9e13)) with no bytes behind it.
+  std::stringstream huge("bussense-trips v1\ntrip 0 99999999999999\n");
+  EXPECT_THROW(load_trips(huge), std::runtime_error);
+  std::stringstream negative("bussense-trips v1\ntrip 0 -5\n");
+  EXPECT_THROW(load_trips(negative), std::runtime_error);
+  std::stringstream overflow("bussense-trips v1\ntrip 0 18446744073709551616\n");
+  EXPECT_THROW(load_trips(overflow), std::runtime_error);
+  // Just over the documented 2^20 bound, with no sample lines to back it.
+  std::stringstream bound("bussense-trips v1\ntrip 0 1048577\n");
+  EXPECT_THROW(load_trips(bound), std::runtime_error);
+}
+
+TEST(FuzzSerialization, RejectsNonFiniteTimes) {
+  for (const char* bad : {"nan", "inf", "-inf", "1e999"}) {
+    std::stringstream is(std::string("bussense-trips v1\ntrip 0 1\nsample ") +
+                         bad + " 1,2\n");
+    EXPECT_THROW(load_trips(is), std::runtime_error) << bad;
+  }
+}
+
+TEST(FuzzSerialization, RejectsFingerprintBombs) {
+  std::string cells = "1";
+  for (int i = 0; i < 5000; ++i) cells += ",1";
+  std::stringstream db("bussense-stopdb v1\nstop 1 " + cells + "\n");
+  EXPECT_THROW(load_stop_database(db), std::runtime_error);
+  std::stringstream trips("bussense-trips v1\ntrip 0 1\nsample 1.0 " + cells +
+                          "\n");
+  EXPECT_THROW(load_trips(trips), std::runtime_error);
+}
+
+TEST(FuzzSerialization, RejectsBadStopIds) {
+  std::stringstream negative("bussense-stopdb v1\nstop -2 1,2\n");
+  EXPECT_THROW(load_stop_database(negative), std::runtime_error);
+  std::stringstream huge("bussense-stopdb v1\nstop 99999999999 1\n");
+  EXPECT_THROW(load_stop_database(huge), std::runtime_error);
+}
+
+TEST(FuzzSerialization, RejectsPartiallyNumericCellIds) {
+  // stol("12x") happily parses 12 and stops; the loader must not.
+  std::stringstream db("bussense-stopdb v1\nstop 1 12x\n");
+  EXPECT_THROW(load_stop_database(db), std::runtime_error);
+  std::stringstream gap("bussense-stopdb v1\nstop 1 1,,2\n");
+  EXPECT_THROW(load_stop_database(gap), std::runtime_error);
+  std::stringstream trips("bussense-trips v1\ntrip 0 1\nsample 1.0 3,4x\n");
+  EXPECT_THROW(load_trips(trips), std::runtime_error);
+}
+
+TEST(FuzzSerialization, RejectsTruncatedAndMisframedDocuments) {
+  std::stringstream truncated("bussense-trips v1\ntrip 1 2\nsample 1.0 5\n");
+  EXPECT_THROW(load_trips(truncated), std::runtime_error);
+  std::stringstream orphan("bussense-trips v1\nsample 1.0 5\n");
+  EXPECT_THROW(load_trips(orphan), std::runtime_error);
+  std::stringstream no_header("trip 0 0\n");
+  EXPECT_THROW(load_trips(no_header), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW(load_trips(empty), std::runtime_error);
+  std::stringstream empty_db("");
+  EXPECT_THROW(load_stop_database(empty_db), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bussense
