@@ -1,17 +1,22 @@
 // Ingest service throughput, latency and metrics overhead.
 //
-// Three questions a deployment asks of the async front end:
+// Four questions a deployment asks of the async front ends:
 //
 //   1. sustained throughput — trips/second through the bounded queue for
 //      1/2/4/8 workers at two queue depths (kBlock, lossless);
-//   2. enqueue-to-fused latency — the p50/p99 of the service's own
-//      ingest.queue_latency_s histogram, i.e. the time from a producer
-//      handing over an upload until its estimates reach the fusion layer;
-//   3. observability cost — serial-server throughput with the metrics
+//   2. scale-out — the sharded service's shard ladder (1/2/4/8 shards,
+//      SPSC rings, no coordinator); the contract is monotone scaling —
+//      adding shards must never cost throughput, and on a many-core host
+//      it should scale near-linearly;
+//   3. enqueue-to-fused latency — the p50/p99 of the single-queue
+//      service's own ingest.queue_latency_s histogram, i.e. the time from
+//      a producer handing over an upload until its estimates reach the
+//      fusion layer;
+//   4. observability cost — serial-server throughput with the metrics
 //      layer on vs off (the instruments are relaxed atomics; the contract
 //      is <= 5% overhead).
 //
-// Emits BENCH_ingest.json with all three.
+// Emits BENCH_ingest.json with all four.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -90,6 +95,41 @@ RunResult run_service(std::size_t workers, std::size_t capacity, int rounds) {
   return out;
 }
 
+// Replays every trip through the sharded service from two producer
+// threads for `rounds` full passes and returns best-of-round trips/s.
+// Best-of keeps the ladder comparable on noisy or core-starved hosts:
+// the contract under test is "no negative scaling", not absolute speed.
+double run_sharded(std::size_t shards, std::size_t ring_capacity, int rounds) {
+  const Testbed& bed = testbed();
+  const auto& trips = bench_trips();
+  double best = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    ShardedIngestConfig cfg;
+    cfg.shards = shards;
+    cfg.ring_capacity = ring_capacity;
+    cfg.backpressure = ShardedIngestConfig::Backpressure::kBlock;
+    ShardedIngestService service(bed.world.city(), bed.database, {}, cfg);
+
+    const int producers = 2;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    for (int p = 0; p < producers; ++p) {
+      pool.emplace_back([&, p] {
+        for (std::size_t i = static_cast<std::size_t>(p); i < trips.size();
+             i += producers) {
+          service.process_trip(trips[i].upload);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    service.drain();
+    const double elapsed = seconds_since(start);
+    best = std::max(best, static_cast<double>(trips.size()) /
+                              std::max(elapsed, 1e-9));
+  }
+  return best;
+}
+
 // One timed serial replay; returns trips/s.
 double serial_round(bool metrics_on) {
   const Testbed& bed = testbed();
@@ -143,6 +183,24 @@ void report() {
   }
   t.print(std::cout);
   json.field("\"service\": [" + rows.str() + "]");
+
+  print_banner(std::cout, "Sharded ingest: shard ladder (SPSC rings)");
+  Table st({"shards", "trips/s", "vs 1 shard"});
+  std::ostringstream srows;
+  double one_shard = 0.0;
+  bool sfirst = true;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const double tps = run_sharded(shards, 1024, 3);
+    if (shards == 1) one_shard = tps;
+    st.add_row({std::to_string(shards), Fmt::fixed(tps, 0),
+                Fmt::fixed(one_shard > 0.0 ? tps / one_shard : 0.0, 2) + "x"});
+    if (!sfirst) srows << ", ";
+    sfirst = false;
+    srows << "{\"shards\": " << shards
+          << ", \"trips_per_s\": " << num(tps) << "}";
+  }
+  st.print(std::cout);
+  json.field("\"sharded\": [" + srows.str() + "]");
 
   print_banner(std::cout, "Metrics layer overhead (serial server)");
   const auto [on, off] = serial_on_off_trips_per_s(4);

@@ -9,6 +9,11 @@
 # server and the async ingest service) under TSan in build-tsan/ and runs
 # the binaries directly. Off by default -- TSan builds are ~10x slower.
 #
+# Optional sharded-ingest stage: BUSSENSE_SHARDED=ON ./scripts/tier1.sh
+# builds the sharded scale-out suites (the SPSC ring and the sharded
+# ingest service's bit-identity property tests) under TSan in build-tsan/
+# and runs the binaries directly. Off by default for the same reason.
+#
 # Optional fault/fuzz stage: BUSSENSE_FAULTS=ON ./scripts/tier1.sh builds
 # the adversarial-input suites (fault injection + admission, golden
 # accuracy, serialization fuzz) under ASan+UBSan in build-asan/ and runs
@@ -26,6 +31,16 @@ if [[ "${BUSSENSE_SANITIZE:-}" == "ON" ]]; then
   # ctest placeholders for the targets we skipped.
   ./build-tsan/tests/test_concurrency
   ./build-tsan/tests/test_ingest_service
+fi
+
+if [[ "${BUSSENSE_SHARDED:-}" == "ON" ]]; then
+  echo "==== tier-1 extra: TSan sharded ingest (test_spsc_ring, test_ingest_service) ===="
+  cmake -B build-tsan -S . -DBUSSENSE_SANITIZE=thread
+  cmake --build build-tsan -j --target test_spsc_ring test_ingest_service
+  ./build-tsan/tests/test_spsc_ring
+  # The ingest suite carries the sharded bit-identity property tests; run
+  # just those here (the full suite already runs under BUSSENSE_SANITIZE).
+  ./build-tsan/tests/test_ingest_service --gtest_filter='Sharded*'
 fi
 
 if [[ "${BUSSENSE_FAULTS:-}" == "ON" ]]; then

@@ -1,0 +1,103 @@
+// Bounded lock-free single-producer / single-consumer ring buffer.
+//
+// The sharded ingest service (core/ingest_service.h) gives every
+// (producer thread, shard) pair its own ring, so each ring really does
+// have exactly one pusher and one popper — the precondition that makes
+// the classic Lamport queue correct with nothing stronger than one
+// release store per operation.
+//
+// Layout notes:
+//
+//   * capacity is rounded up to a power of two so the index wrap is a
+//     mask, not a division;
+//   * head (consumer) and tail (producer) live on their own cache lines,
+//     as do the producer's cached copy of head and the consumer's cached
+//     copy of tail — the cached copies let the hot path run entirely on
+//     core-local state and only touch the other side's line when the ring
+//     *looks* full/empty (the "cached index" refinement of Lamport's
+//     queue);
+//   * slots are plain (non-atomic) T; publication is ordered by the
+//     release store of the index and the matching acquire load on the
+//     other side.
+//
+// try_push/try_pop never block and never allocate after construction.
+// size()/empty() are safe from any thread but only exact when the other
+// side is quiescent — good enough for drain loops and depth gauges.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bussense {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// A ring holding at least `min_capacity` items (rounded up to the next
+  /// power of two; 0 is treated as 1).
+  explicit SpscRing(std::size_t min_capacity)
+      : mask_(round_up_pow2(min_capacity) - 1),
+        slots_(round_up_pow2(min_capacity)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false (value untouched) when the ring is full.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+  bool try_push(const T& value) {
+    T copy(value);
+    return try_push(std::move(copy));
+  }
+
+  /// Consumer side. Returns false (out untouched) when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Item count; exact only while the other side is quiescent.
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};  ///< consumer
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};  ///< producer
+  alignas(kCacheLineBytes) std::size_t cached_head_ = 0;  ///< producer-local
+  alignas(kCacheLineBytes) std::size_t cached_tail_ = 0;  ///< consumer-local
+};
+
+}  // namespace bussense

@@ -1,5 +1,7 @@
-// Asynchronous ingest front end: bounded queue + worker pool + explicit
-// backpressure, over the thread-safe concurrent server.
+// Asynchronous ingest front ends: the single-queue IngestService (bounded
+// MPMC queue + worker pool + explicit backpressure) and the scale-out
+// ShardedIngestService (participant-hash shards fed by lock-free SPSC
+// rings, no coordinator — see the second half of this header).
 //
 // A deployment receives trip uploads from thousands of phones on whatever
 // schedule the cellular network delivers them; the analysis pipeline runs
@@ -36,6 +38,7 @@
 // uploads that ran the full pipeline.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -43,7 +46,9 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
+#include "common/spsc_ring.h"
 #include "common/thread_pool.h"
 #include "core/concurrent_server.h"
 #include "core/traffic_ingestor.h"
@@ -151,6 +156,166 @@ class IngestService final : public TrafficIngestor {
     Gauge* queue_depth = nullptr;
   };
   Instruments inst_;
+};
+
+// ---------------------------------------------------------------------------
+// Sharded scale-out ingest.
+//
+// IngestService above tops out early: one mutex-guarded MPMC deque, one
+// coordinator thread and cross-thread fusion batching serialize every
+// upload no matter how many workers drain the queue. ShardedIngestService
+// removes every shared point on the hot path:
+//
+//   * uploads are partitioned by participant id with a stable hash
+//     (mix64), so one participant's stream always lands on the same
+//     shard;
+//   * each shard is drained by its own consumer thread — there is no
+//     coordinator and no shared queue. Producers reach a shard through a
+//     per-(producer thread, shard) lock-free SPSC ring
+//     (common/spsc_ring.h); a thread pushing and a consumer popping never
+//     touch a lock or another thread's cache line;
+//   * admission control (dedup LRU, clock-skew re-anchoring) runs inside
+//     the shard on partition-local state: a participant's replays and
+//     skew history live where its uploads are processed, so the checks
+//     are race-free without a shared controller;
+//   * each shard records into its own MetricsRegistry
+//     (ingest.shard.* instruments); shard_metrics() merges the
+//     registries in shard order, which is deterministic — the counters
+//     depend only on the partitioning, never on scheduling.
+//
+// Determinism: analysis is pure, and the shards fold their estimates into
+// the shared striped fusion, which batches per 5-minute period and sums
+// each period's estimates in *sorted* order when advance_time() closes it
+// (core/fusion.h). The fused map therefore depends only on the multiset
+// of accepted uploads — shard count, arrival order, ring sizes and merge
+// timing are all invisible, and the snapshot is bit-identical to feeding
+// the same uploads through the serial TrafficServer (property-tested
+// across shard and producer counts, admission and metrics on and off).
+//
+// Backpressure: a full ring either blocks the producer (kBlock — spin,
+// then yield, then sleep) or rejects with RejectReason::kQueueFull
+// (kReject). kDropOldest does not exist here: only the consumer may pop
+// an SPSC ring, so the producer cannot shed the oldest entry.
+struct ShardedIngestConfig {
+  /// What process_trip() does when the producer's ring for the target
+  /// shard is full.
+  enum class Backpressure : std::uint8_t { kBlock, kReject };
+
+  std::size_t shards = 4;             ///< independent partitions; > 0
+  std::size_t ring_capacity = 1024;   ///< per (producer, shard) ring; > 0
+  /// SPSC lanes per shard. The first `max_producer_lanes` producer
+  /// threads each get a private ring per shard; later threads fall back
+  /// to a small mutex-guarded overflow queue (counted, correctness
+  /// unchanged).
+  std::size_t max_producer_lanes = 16;
+  Backpressure backpressure = Backpressure::kBlock;
+  ConcurrentServerConfig concurrency;
+
+  /// Throws std::invalid_argument on nonsense (zero shards, lanes or ring
+  /// capacity).
+  void validate() const;
+};
+
+class ShardedIngestService final : public TrafficIngestor {
+ public:
+  ShardedIngestService(const City& city, StopDatabase database,
+                       ServerConfig config = {},
+                       ShardedIngestConfig sharding = {});
+  ~ShardedIngestService() override;
+
+  ShardedIngestService(const ShardedIngestService&) = delete;
+  ShardedIngestService& operator=(const ShardedIngestService&) = delete;
+
+  /// Routes the upload to its participant's shard. Returns kQueued, or
+  /// kRejected with kQueueFull (kReject policy) / kShutdown. Safe from any
+  /// thread, including after shutdown().
+  TripReport process_trip(const TripUpload& trip) override;
+
+  /// Blocks until every pushed upload has been analysed and its estimates
+  /// handed to the fusion layer. Exact once producers are quiescent (the
+  /// same contract as IngestService::drain()).
+  void drain();
+
+  /// drain(), then advances the per-shard admission watermarks and closes
+  /// fusion periods up to `now`.
+  void advance_time(SimTime now) override;
+
+  /// Closes the service (further uploads rejected with kShutdown), lets
+  /// every shard finish its rings, joins the consumers and flushes the
+  /// fusion batches. Idempotent; also run by the destructor.
+  void shutdown();
+
+  TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const override;
+  /// Pipeline-wide registry (analysis-stage instruments); the per-shard
+  /// ingest.shard.* instruments live in the shard registries below.
+  const MetricsRegistry& metrics() const override { return backend_.metrics(); }
+  /// Deterministic merge of every shard's registry, in shard order. Shard
+  /// instruments are counters only, so for a fixed accepted workload the
+  /// merged snapshot (and its JSON) is byte-identical across runs.
+  MetricsSnapshot shard_metrics() const;
+  const MetricsRegistry& shard_registry(std::size_t shard) const {
+    return *shards_[shard]->registry;
+  }
+
+  const SegmentCatalog& catalog() const override { return backend_.catalog(); }
+  std::uint64_t trips_processed() const override {
+    return backend_.trips_processed();
+  }
+
+  /// Stable partition of a participant id (mix64 hash mod shard count).
+  std::size_t shard_of(std::int32_t participant_id) const;
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Uploads currently queued across all rings and overflow queues; exact
+  /// only while producers and consumers are quiescent.
+  std::size_t queue_depth() const;
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  const ConcurrentTrafficServer& backend() const { return backend_; }
+
+ private:
+  struct Shard {
+    /// Fixed lane array, one SPSC ring per producer slot, allocated
+    /// eagerly so consumers never race a lane's publication.
+    std::vector<std::unique_ptr<SpscRing<TripUpload>>> lanes;
+    /// Spill path for producer threads beyond max_producer_lanes.
+    mutable std::mutex overflow_mutex;
+    std::deque<TripUpload> overflow;
+    /// True while the consumer is popping/processing; drain() polls
+    /// rings-then-busy so a popped-but-unfinished upload is never missed.
+    std::atomic<bool> busy{false};
+    /// Partition-local admission state (null when admission is disabled).
+    std::unique_ptr<AdmissionController> admission;
+    /// Shard-local instruments; merged by shard_metrics(). Always present
+    /// (empty when observability is off).
+    std::unique_ptr<MetricsRegistry> registry;
+    struct Instruments {
+      Counter* enqueued = nullptr;
+      Counter* processed = nullptr;
+      Counter* rejected_ring_full = nullptr;
+      Counter* rejected_shutdown = nullptr;
+      Counter* overflowed = nullptr;
+      Counter* worker_errors = nullptr;
+    };
+    Instruments inst;
+    std::thread consumer;
+  };
+
+  std::size_t producer_lane();  ///< this thread's lane slot for this service
+  bool shard_pending(const Shard& shard) const;
+  std::size_t drain_shard_once(Shard& shard);
+  void process_one(Shard& shard, const TripUpload& trip);
+  void shard_loop(Shard& shard);
+
+  ConcurrentTrafficServer backend_;
+  ShardedIngestConfig sharding_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<bool> closed_{false};
+  /// Producers currently inside process_trip(). Consumers only exit when
+  /// closed_ is set, this is zero and their rings are empty — so an upload
+  /// that won the closed_ check is never stranded by shutdown.
+  std::atomic<std::size_t> pushing_{0};
+  std::atomic<std::size_t> next_producer_slot_{0};
+  const std::uint64_t service_id_;  ///< key for thread-local lane lookup
 };
 
 }  // namespace bussense

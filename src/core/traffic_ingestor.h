@@ -1,11 +1,13 @@
 // TrafficIngestor: the one server API every backend front end implements.
 //
-// Three front ends share the pipeline of Figure 4 — the serial
-// TrafficServer, the thread-safe ConcurrentTrafficServer, and the
-// asynchronous IngestService (bounded queue + worker pool). Examples,
-// benches and deployments program against this interface and swap the
-// front end with one line; all three produce bit-identical fused maps for
-// the same accepted upload multiset (property-tested).
+// Four front ends share the pipeline of Figure 4 — the serial
+// TrafficServer, the thread-safe ConcurrentTrafficServer, the
+// asynchronous IngestService (bounded queue + worker pool), and the
+// scale-out ShardedIngestService (participant-hash shards over lock-free
+// SPSC rings). Examples, benches and deployments program against this
+// interface and swap the front end with one line; all four produce
+// bit-identical fused maps for the same accepted upload multiset
+// (property-tested).
 //
 // Call contract, shared by every implementation:
 //

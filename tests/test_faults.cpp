@@ -5,7 +5,9 @@
 //     and independent of the rest of the batch;
 //   * a zeroed plan is the identity;
 //   * on a clean workload the pipeline is bit-identical with admission
-//     checks on or off, and across all three TrafficIngestor front ends;
+//     checks on or off, and across all four TrafficIngestor front ends
+//     (the sharded service runs admission partition-locally — dedup and
+//     skew state live inside the participant's shard);
 //   * the admission stage rejects replays/malformed/disordered uploads
 //     with typed reasons instead of throwing, re-anchors skewed clocks,
 //     and accounts for every verdict in ingest.* counters.
@@ -419,6 +421,28 @@ TEST(AdmissionIdentity, CleanWorkloadBitIdenticalAcrossFrontEnds) {
   service.advance_time(end);
   expect_fused_equal(expected, service.backend().fusion(), "service");
   EXPECT_EQ(service.trips_processed(), clean.size());
+
+  // Sharded ingest service, admission on — but partition-local: each
+  // shard's dedup LRU and skew table only ever sees its own participants.
+  // 4 shards, 3 producer threads.
+  ShardedIngestService sharded(bed.world.city(), bed.database, admission_on());
+  std::vector<std::thread> feeders;
+  for (int t = 0; t < 3; ++t) {
+    feeders.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < clean.size();
+           i += 3) {
+        ASSERT_TRUE(sharded.process_trip(clean[i]).accepted());
+      }
+    });
+  }
+  for (std::thread& th : feeders) th.join();
+  sharded.advance_time(end);
+  expect_fused_equal(expected, sharded.backend().fusion(), "sharded");
+  EXPECT_EQ(sharded.trips_processed(), clean.size());
+  // Admission verdicts land in the shard registries; the deterministic
+  // merge accounts for every upload exactly once across shards.
+  EXPECT_EQ(sharded.shard_metrics().counters.at("ingest.admitted"),
+            clean.size());
 }
 
 // Replays are byte-identical, so whichever copy wins admission yields the

@@ -1,13 +1,20 @@
-// Asynchronous ingest service: backpressure semantics, graceful shutdown,
-// and the determinism contract — the queued path must produce a fused map
-// bit-identical to the serial TrafficServer for the same accepted uploads,
-// with metrics on or off, at any worker count.
+// Asynchronous ingest services: backpressure semantics, graceful shutdown,
+// and the determinism contract — both queued paths (the single-queue
+// IngestService and the scale-out ShardedIngestService) must produce a
+// fused map bit-identical to the serial TrafficServer for the same
+// accepted uploads, with metrics and admission on or off, at any worker,
+// shard and producer count, and regardless of when the cross-shard merge
+// (advance_time) runs.
 //
 // Configure with -DBUSSENSE_SANITIZE=thread to run this suite under
-// ThreadSanitizer.
+// ThreadSanitizer (scripts/tier1.sh BUSSENSE_SHARDED=ON does).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -399,6 +406,294 @@ TEST(BucketHistogramSnapshot, PercentilesInterpolateAndClamp) {
   EXPECT_EQ(h.snapshot().percentile(1.0), 5.0);
   EXPECT_THROW(BucketHistogram({2.0, 1.0}), std::invalid_argument);
   EXPECT_THROW(BucketHistogram({}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- sharded ingest
+
+const std::vector<TripUpload>& nonempty_uploads() {
+  // Admission (rightly) rejects sample-less uploads; the sharded identity
+  // sweeps run with admission on, so feed only trips the clean pipeline
+  // accepts — identity stays exact.
+  static const std::vector<TripUpload> uploads = [] {
+    std::vector<TripUpload> out;
+    for (const AnnotatedTrip& trip : testbed().trips) {
+      if (!trip.upload.samples.empty()) out.push_back(trip.upload);
+    }
+    return out;
+  }();
+  return uploads;
+}
+
+// Canonical byte rendering of a snapshot: segments in key order, every
+// float as %.17g, so two equal strings mean bit-identical fused maps.
+// (Striped fusion hands segments out in hash-map order, which tracks
+// insertion order — canonicalise before comparing bytes.)
+std::string map_bytes(const TrafficMap& map) {
+  std::vector<MapSegment> segments = map.segments();
+  std::sort(segments.begin(), segments.end(),
+            [](const MapSegment& a, const MapSegment& b) {
+              return a.key.from != b.key.from ? a.key.from < b.key.from
+                                              : a.key.to < b.key.to;
+            });
+  std::string out;
+  char buf[160];
+  for (const MapSegment& s : segments) {
+    std::snprintf(buf, sizeof buf, "%d>%d %.17g %.17g %d %d;",
+                  static_cast<int>(s.key.from), static_cast<int>(s.key.to),
+                  s.speed_kmh, s.updated_at, s.observation_count,
+                  static_cast<int>(s.level));
+    out += buf;
+  }
+  return out;
+}
+
+TEST(ShardedIngestConfigValidation, RejectsNonsense) {
+  const Testbed& bed = testbed();
+  ShardedIngestConfig zero_shards;
+  zero_shards.shards = 0;
+  EXPECT_THROW(
+      ShardedIngestService(bed.world.city(), bed.database, {}, zero_shards),
+      std::invalid_argument);
+  ShardedIngestConfig zero_ring;
+  zero_ring.ring_capacity = 0;
+  EXPECT_THROW(
+      ShardedIngestService(bed.world.city(), bed.database, {}, zero_ring),
+      std::invalid_argument);
+  ShardedIngestConfig zero_lanes;
+  zero_lanes.max_producer_lanes = 0;
+  EXPECT_THROW(
+      ShardedIngestService(bed.world.city(), bed.database, {}, zero_lanes),
+      std::invalid_argument);
+  ShardedIngestConfig bad_stripes;
+  bad_stripes.concurrency.fusion_stripes = 0;
+  EXPECT_THROW(
+      ShardedIngestService(bed.world.city(), bed.database, {}, bad_stripes),
+      std::invalid_argument);
+}
+
+TEST(ShardedIngest, PartitionIsStableAndShutdownRejectsLateUploads) {
+  const Testbed& bed = testbed();
+  const auto& uploads = nonempty_uploads();
+  ASSERT_FALSE(uploads.empty());
+  ShardedIngestService service(bed.world.city(), bed.database, {}, {});
+
+  // The participant hash is a pure function: same id, same shard, always.
+  for (const std::int32_t id : {0, 1, 7, -3, 4096, 1 << 20}) {
+    const std::size_t shard = service.shard_of(id);
+    EXPECT_LT(shard, service.shard_count());
+    EXPECT_EQ(shard, service.shard_of(id));
+  }
+
+  for (const TripUpload& upload : uploads) {
+    EXPECT_TRUE(service.process_trip(upload).accepted());
+  }
+  service.drain();
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_EQ(service.trips_processed(), uploads.size());
+  const MetricsSnapshot sm = service.shard_metrics();
+  EXPECT_EQ(sm.counters.at("ingest.shard.enqueued"), uploads.size());
+  EXPECT_EQ(sm.counters.at("ingest.shard.processed"), uploads.size());
+  EXPECT_EQ(sm.counters.at("ingest.shard.rejected_ring_full"), 0u);
+  EXPECT_EQ(sm.counters.at("ingest.shard.worker_errors"), 0u);
+
+  service.shutdown();
+  EXPECT_TRUE(service.closed());
+  const TripReport late = service.process_trip(uploads[0]);
+  EXPECT_EQ(late.outcome, IngestOutcome::kRejected);
+  EXPECT_EQ(late.reject_reason, RejectReason::kShutdown);
+  EXPECT_EQ(
+      service.shard_metrics().counters.at("ingest.shard.rejected_shutdown"),
+      1u);
+  service.shutdown();  // idempotent
+  EXPECT_EQ(service.trips_processed(), uploads.size());
+}
+
+TEST(ShardedIngest, ShutdownUnderProducerLoadLosesNoAcceptedUpload) {
+  const Testbed& bed = testbed();
+  const auto& uploads = nonempty_uploads();
+  for (int round = 0; round < 3; ++round) {
+    ShardedIngestConfig svc;
+    svc.shards = 4;
+    svc.ring_capacity = 4;
+    svc.backpressure = ShardedIngestConfig::Backpressure::kReject;
+    auto service = std::make_unique<ShardedIngestService>(
+        bed.world.city(), bed.database, ServerConfig{}, svc);
+    std::atomic<std::size_t> accepted{0}, rejected{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = static_cast<std::size_t>(p); i < uploads.size();
+             i += 4) {
+          if (service->process_trip(uploads[i]).accepted()) {
+            ++accepted;
+          } else {
+            ++rejected;
+          }
+        }
+      });
+    }
+    // Tear the service down while producers are still hammering it; every
+    // upload that was told kQueued must still reach the pipeline.
+    service->shutdown();
+    for (std::thread& t : producers) t.join();
+    EXPECT_EQ(accepted.load() + rejected.load(), uploads.size());
+    EXPECT_EQ(service->trips_processed(), accepted.load());
+    const MetricsSnapshot sm = service->shard_metrics();
+    EXPECT_EQ(sm.counters.at("ingest.shard.processed"), accepted.load());
+    EXPECT_EQ(sm.counters.at("ingest.shard.rejected_ring_full") +
+                  sm.counters.at("ingest.shard.rejected_shutdown"),
+              rejected.load());
+  }
+}
+
+// The tentpole property: the sharded path must fuse bit-identically to the
+// serial TrafficServer at every shard count, with admission and metrics
+// each on and off, under multi-producer feeding.
+TEST(ShardedIngestDeterminism, BitIdenticalToSerialAcrossShardsAdmissionMetrics) {
+  const Testbed& bed = testbed();
+  const auto& uploads = nonempty_uploads();
+  ASSERT_GT(uploads.size(), 30u);
+  const SimTime end = at_clock(1, 0, 0);
+
+  TrafficServer serial(bed.world.city(), bed.database);
+  for (const TripUpload& upload : uploads) serial.process_trip(upload);
+  serial.advance_time(end);
+  const auto expected = serial.fusion().all();
+  ASSERT_FALSE(expected.empty());
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    for (const bool metrics_on : {true, false}) {
+      for (const bool admission_enabled : {false, true}) {
+        ServerConfig cfg;
+        cfg.obs.enabled = metrics_on;
+        cfg.admission.enabled = admission_enabled;
+        ShardedIngestConfig svc;
+        svc.shards = shards;
+        svc.ring_capacity = 8;  // tiny: exercises blocking backpressure
+        // Small batches + few stripes on purpose: more interleavings.
+        svc.concurrency.fusion_stripes = 4;
+        svc.concurrency.batch_flush_threshold = 8;
+        ShardedIngestService service(bed.world.city(), bed.database, cfg, svc);
+
+        std::vector<std::thread> producers;
+        for (int p = 0; p < 3; ++p) {
+          producers.emplace_back([&, p] {
+            for (std::size_t i = static_cast<std::size_t>(p);
+                 i < uploads.size(); i += 3) {
+              ASSERT_TRUE(service.process_trip(uploads[i]).accepted());
+            }
+          });
+        }
+        for (std::thread& t : producers) t.join();
+        service.advance_time(end);
+
+        const std::string label = std::to_string(shards) + " shards, metrics " +
+                                  (metrics_on ? "on" : "off") + ", admission " +
+                                  (admission_enabled ? "on" : "off");
+        EXPECT_EQ(service.trips_processed(), uploads.size()) << label;
+        const auto got = service.backend().fusion().all();
+        ASSERT_EQ(got.size(), expected.size()) << label;
+        for (const auto& [key, fused] : expected) {
+          const auto q = service.backend().fusion().query(key);
+          ASSERT_TRUE(q.has_value()) << label;
+          EXPECT_EQ(q->mean_kmh, fused.mean_kmh) << label;
+          EXPECT_EQ(q->variance, fused.variance) << label;
+          EXPECT_EQ(q->updated_at, fused.updated_at) << label;
+          EXPECT_EQ(q->observation_count, fused.observation_count) << label;
+        }
+
+        if (metrics_on) {
+          const MetricsSnapshot sm = service.shard_metrics();
+          EXPECT_EQ(sm.counters.at("ingest.shard.enqueued"), uploads.size())
+              << label;
+          EXPECT_EQ(sm.counters.at("ingest.shard.processed"), uploads.size())
+              << label;
+          if (admission_enabled) {
+            EXPECT_EQ(sm.counters.at("ingest.admitted"), uploads.size())
+                << label;
+          }
+        } else {
+          EXPECT_TRUE(service.shard_metrics().counters.empty()) << label;
+        }
+      }
+    }
+  }
+}
+
+// Cross-shard merge determinism: interleave advance_time with trip bursts,
+// reshuffle the within-burst feeding order with a seeded Rng, and vary the
+// shard and producer counts per run — the final TrafficMap must be
+// byte-identical, and so must the merged per-shard metrics JSON, across 20
+// reshuffled runs. Skew re-anchoring is disabled (its per-participant
+// offset state is processing-order dependent by design — admission.h);
+// dedup and the shape bounds stay on.
+TEST(ShardedIngestDeterminism, CrossShardMergeByteIdenticalAcrossReshuffledRuns) {
+  const Testbed& bed = testbed();
+  std::vector<TripUpload> uploads = nonempty_uploads();
+  ASSERT_GT(uploads.size(), 16u);
+  // Bursts are ordered by first-sample time so each interleaved
+  // advance_time() respects the ingestor contract: every estimate of a
+  // later burst is newer than the period being closed.
+  std::stable_sort(uploads.begin(), uploads.end(),
+                   [](const TripUpload& a, const TripUpload& b) {
+                     return a.samples.front().time < b.samples.front().time;
+                   });
+  const std::size_t n = uploads.size();
+  const std::array<std::size_t, 5> cut = {0, n / 4, n / 2, 3 * n / 4, n};
+  const SimTime end = at_clock(1, 0, 0);
+
+  ServerConfig cfg;
+  cfg.admission.enabled = true;
+  cfg.admission.max_clock_skew_s = 0.0;  // disable order-dependent skew state
+
+  std::string reference_map, reference_metrics;
+  for (int run = 0; run < 20; ++run) {
+    ShardedIngestConfig svc;
+    svc.shards = std::size_t{1} << (run % 4);  // 1, 2, 4, 8
+    svc.ring_capacity = 16;
+    svc.concurrency.fusion_stripes = 4;
+    svc.concurrency.batch_flush_threshold = 8;
+    ShardedIngestService service(bed.world.city(), bed.database, cfg, svc);
+
+    Rng rng(static_cast<std::uint64_t>(900 + run));
+    for (int burst = 0; burst < 4; ++burst) {
+      std::vector<std::size_t> order;
+      for (std::size_t i = cut[burst]; i < cut[burst + 1]; ++i) {
+        order.push_back(i);
+      }
+      for (std::size_t i = order.size(); i > 1; --i) {  // seeded Fisher–Yates
+        std::swap(order[i - 1],
+                  order[static_cast<std::size_t>(
+                      rng.uniform_int(0, static_cast<int>(i) - 1))]);
+      }
+      const int producers = 1 + run % 3;
+      std::vector<std::thread> pool;
+      for (int p = 0; p < producers; ++p) {
+        pool.emplace_back([&, p] {
+          for (std::size_t i = static_cast<std::size_t>(p); i < order.size();
+               i += static_cast<std::size_t>(producers)) {
+            ASSERT_TRUE(service.process_trip(uploads[order[i]]).accepted());
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      // Merge point: close everything strictly older than the next burst.
+      const SimTime advance_to =
+          burst + 1 < 4 ? uploads[cut[burst + 1]].samples.front().time : end;
+      service.advance_time(advance_to);
+    }
+
+    const std::string got_map = map_bytes(service.snapshot(end, kDay));
+    const std::string got_metrics = service.shard_metrics().to_json();
+    if (run == 0) {
+      ASSERT_FALSE(got_map.empty());
+      reference_map = got_map;
+      reference_metrics = got_metrics;
+    } else {
+      EXPECT_EQ(got_map, reference_map) << "run " << run;
+      EXPECT_EQ(got_metrics, reference_metrics) << "run " << run;
+    }
+  }
 }
 
 // ------------------------------------------------------------ deprecation

@@ -1,0 +1,185 @@
+// Lock-free SPSC ring: capacity/wrap/full/empty invariants, FIFO order
+// across wraps, single-producer single-consumer stress (run this suite
+// under TSan via scripts/tier1.sh BUSSENSE_SHARDED=ON), and the
+// drain-on-shutdown ordering the sharded ingest service relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_ring.h"
+
+namespace bussense {
+namespace {
+
+// ----------------------------------------------------- capacity invariants
+
+TEST(SpscRingCapacity, RoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscRingInvariants, FullAndEmptyBoundaries) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.try_push(int(i))) << i;
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_FALSE(ring.try_push(99));  // full: refused, nothing overwritten
+  EXPECT_EQ(ring.size(), 4u);
+
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);  // FIFO
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop(out));  // empty: refused, out untouched
+  EXPECT_EQ(out, 3);
+}
+
+TEST(SpscRingInvariants, FifoOrderSurvivesManyWraps) {
+  SpscRing<std::uint32_t> ring(8);
+  std::uint32_t pushed = 0, popped = 0;
+  // Interleave pushes and pops so head/tail wrap the 8-slot buffer
+  // thousands of times; order and count must be exact throughout.
+  for (int round = 0; round < 10000; ++round) {
+    while (pushed < popped + 5 && ring.try_push(std::uint32_t(pushed))) {
+      ++pushed;
+    }
+    std::uint32_t out = 0;
+    while (ring.try_pop(out)) {
+      ASSERT_EQ(out, popped);
+      ++popped;
+    }
+  }
+  EXPECT_EQ(pushed, popped);
+  EXPECT_GT(popped, 40000u);
+}
+
+TEST(SpscRingInvariants, FailedPushLeavesMoveOnlyValueIntact) {
+  SpscRing<std::unique_ptr<int>> ring(1);
+  auto first = std::make_unique<int>(7);
+  ASSERT_TRUE(ring.try_push(std::move(first)));
+
+  auto second = std::make_unique<int>(8);
+  EXPECT_FALSE(ring.try_push(std::move(second)));
+  ASSERT_NE(second, nullptr);  // refused push must not consume the value
+  EXPECT_EQ(*second, 8);
+
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 7);
+  ASSERT_TRUE(ring.try_push(std::move(second)));
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(*out, 8);
+}
+
+// ------------------------------------------------------------- SPSC stress
+
+// One producer, one consumer, a deliberately tiny ring: both sides spin on
+// full/empty so every index-handoff path runs millions of times. Values
+// must arrive complete, in order, exactly once. TSan checks the memory
+// ordering claims.
+TEST(SpscRingStress, SingleProducerSingleConsumerOrdered) {
+  constexpr std::uint64_t kItems = 200000;
+  SpscRing<std::uint64_t> ring(16);
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!ring.try_push(std::uint64_t(i))) std::this_thread::yield();
+    }
+  });
+
+  std::uint64_t expected = 0, checksum = 0;
+  while (expected < kItems) {
+    std::uint64_t out = 0;
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out, expected);
+      checksum += out;
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(checksum, kItems * (kItems - 1) / 2);
+}
+
+// Payloads with heap state (like TripUpload's sample vector) must move
+// through intact — no torn reads of the slot under concurrency.
+TEST(SpscRingStress, HeapPayloadsMoveThroughIntact) {
+  constexpr int kItems = 20000;
+  SpscRing<std::string> ring(8);
+
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      std::string payload(1 + i % 61, char('a' + i % 26));
+      while (!ring.try_push(std::move(payload))) std::this_thread::yield();
+    }
+  });
+
+  for (int i = 0; i < kItems; ++i) {
+    std::string out;
+    while (!ring.try_pop(out)) std::this_thread::yield();
+    ASSERT_EQ(out.size(), std::size_t(1 + i % 61));
+    ASSERT_EQ(out, std::string(1 + i % 61, char('a' + i % 26)));
+  }
+  producer.join();
+}
+
+// -------------------------------------------------------- shutdown draining
+
+// The sharded service's shutdown contract: the producer stops (simulated
+// by a closed flag), and whatever it pushed before stopping is drained by
+// the consumer afterwards — complete and still in FIFO order.
+TEST(SpscRingShutdown, DrainAfterProducerStopsPreservesOrder) {
+  SpscRing<int> ring(64);
+  std::atomic<bool> closed{false};
+  std::atomic<int> produced{0};
+
+  std::thread producer([&] {
+    int i = 0;
+    while (!closed.load(std::memory_order_acquire)) {
+      if (ring.try_push(int(i))) {
+        produced.store(i + 1, std::memory_order_release);
+        ++i;
+      }
+    }
+  });
+
+  // Let it run, then "shut down" mid-stream.
+  int drained = 0, out = -1;
+  while (drained < 1000) {
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out, drained);
+      ++drained;
+    }
+  }
+  closed.store(true, std::memory_order_release);
+  producer.join();
+
+  // Post-shutdown drain: everything the producer managed to push arrives,
+  // in order, with nothing duplicated or lost.
+  while (ring.try_pop(out)) {
+    ASSERT_EQ(out, drained);
+    ++drained;
+  }
+  EXPECT_EQ(drained, produced.load(std::memory_order_acquire));
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace bussense
