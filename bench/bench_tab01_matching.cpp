@@ -4,12 +4,22 @@
 // Paper: upload {1,2,3,4,5} vs database {1,7,3,5} scores 2.4 from 3
 // matches, 1 gap and 1 mismatch; sweeping the penalty from 0.1 to 0.9,
 // 0.3 gives the best matching accuracy.
+//
+// The kernel section times per-sample match() throughput at city scale
+// (full city, 8 routes) across the acceleration corners — brute force,
+// inverted index, and the fixed-point batch kernel (DESIGN.md §12) — and
+// emits BENCH_matching.json for regression tracking. Results are
+// bit-identical across all corners (tests/test_matching_simd.cpp), so the
+// table is pure throughput.
+#include <chrono>
 #include <iostream>
+#include <memory>
 #include <set>
 
 #include "bench_common.h"
 #include "common/table.h"
 #include "core/matching.h"
+#include "core/matching_simd.h"
 #include "core/stop_database.h"
 #include "core/stop_matcher.h"
 
@@ -71,6 +81,116 @@ void report_penalty_sweep() {
             << " (paper chose 0.3)\n";
 }
 
+// --- city-scale kernel throughput -----------------------------------------
+
+struct CityScale {
+  std::unique_ptr<World> world;
+  StopDatabase database;
+  std::vector<Fingerprint> probes;
+};
+
+const CityScale& city_scale() {
+  static CityScale cs = [] {
+    CityScale out;
+    WorldConfig cfg;
+    cfg.city.width_m = 7000;
+    cfg.city.height_m = 4000;
+    cfg.city.route_names = {"79", "99", "241", "243", "252", "257", "182", "31"};
+    cfg.seed = 9;
+    out.world = std::make_unique<World>(cfg);
+    Rng survey(2024);
+    out.database = build_stop_database(
+        out.world->city(),
+        [&](StopId stop, int run) {
+          return out.world->scan_stop(stop, survey, run % 2 == 1);
+        },
+        3);
+    Rng rng(43);
+    for (const BusStop& stop : out.world->city().stops()) {
+      if (out.world->city().effective_stop(stop.id) != stop.id) continue;
+      if (stop.id % 5 != 0) continue;  // subsample: a few hundred probes
+      out.probes.push_back(out.world->scan_stop(stop.id, rng, true));
+    }
+    return out;
+  }();
+  return cs;
+}
+
+double match_samples_per_s(const StopMatcher& matcher,
+                           const std::vector<Fingerprint>& probes,
+                           int repeats) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (const Fingerprint& fp : probes) {
+      benchmark::DoNotOptimize(matcher.match(fp));
+    }
+  }
+  const double total = static_cast<double>(probes.size()) * repeats;
+  return total / std::max(seconds_since(start), 1e-9);
+}
+
+void report_kernel_throughput() {
+  print_banner(std::cout,
+               "Matching kernel: city-scale match() throughput "
+               "(full city, 8 routes)");
+  const CityScale& cs = city_scale();
+
+  struct Corner {
+    const char* label;
+    bool use_index;
+    bool use_simd;
+    int repeats;
+  };
+  // Brute force scans every record per sample, so it gets fewer repeats.
+  const Corner corners[] = {
+      {"brute force, scalar", false, false, 2},
+      {"brute force, kernel", false, true, 2},
+      {"indexed, scalar", true, false, 20},
+      {"indexed, kernel", true, true, 20},
+  };
+
+  Table t({"configuration", "samples/s", "speedup"});
+  double rates[4] = {0, 0, 0, 0};
+  JsonReport json;
+  std::ostringstream rows;
+  for (int i = 0; i < 4; ++i) {
+    StopMatcherConfig cfg;
+    cfg.accel.use_index = corners[i].use_index;
+    cfg.accel.use_simd = corners[i].use_simd;
+    const StopMatcher matcher(cs.database, cfg);
+    rates[i] = match_samples_per_s(matcher, cs.probes, corners[i].repeats);
+    const double base = corners[i].use_index ? rates[2] : rates[0];
+    t.add_row({corners[i].label, fmt(rates[i], 0),
+               fmt(rates[i] / std::max(base, 1e-9), 2) + "x"});
+    if (i) rows << ", ";
+    rows << "{\"label\": \"" << corners[i].label
+         << "\", \"samples_per_s\": " << num(rates[i]) << "}";
+  }
+  t.print(std::cout);
+  const double brute_speedup = rates[1] / std::max(rates[0], 1e-9);
+  const double indexed_speedup = rates[3] / std::max(rates[2], 1e-9);
+  std::cout << "active kernel: " << simd::kernel_name(simd::active_kernel())
+            << " (batch width " << simd::batch_width() << ")\n"
+            << "kernel speedup: " << fmt(brute_speedup, 2)
+            << "x over brute-force scalar, " << fmt(indexed_speedup, 2)
+            << "x over indexed scalar\n";
+
+  json.field("\"stops\": " + std::to_string(cs.database.size()));
+  json.field("\"probes\": " + std::to_string(cs.probes.size()));
+  json.field(std::string("\"kernel\": \"") +
+             simd::kernel_name(simd::active_kernel()) + "\"");
+  json.field("\"batch_width\": " + std::to_string(simd::batch_width()));
+  // Whether the "kernel" corners actually took the batch path: false on
+  // hosts without a vector unit, where use_simd is deliberately inert.
+  json.field(std::string("\"batch_engaged\": ") +
+             (StopMatcher(cs.database).simd_active() ? "true" : "false"));
+  json.field("\"corners\": [" + rows.str() + "]");
+  json.field("\"kernel_speedup_brute\": " + num(brute_speedup));
+  json.field("\"kernel_speedup_indexed\": " + num(indexed_speedup));
+  json.write("BENCH_matching.json");
+  std::cout << "wrote BENCH_matching.json\n";
+}
+
 void BM_Align(benchmark::State& state) {
   const Fingerprint upload{{1, 2, 3, 4, 5}};
   const Fingerprint database{{1, 7, 3, 5}};
@@ -98,5 +218,6 @@ BENCHMARK(BM_MatchAgainstFullDatabase);
 int main(int argc, char** argv) {
   bussense::bench::report_instance();
   bussense::bench::report_penalty_sweep();
+  bussense::bench::report_kernel_throughput();
   return bussense::bench::run_benchmarks(argc, argv);
 }

@@ -19,6 +19,13 @@
 # accuracy, serialization fuzz) under ASan+UBSan in build-asan/ and runs
 # the binaries directly, so the fuzzer's "no crash, no UB" contract is
 # checked by the sanitizers rather than by luck. Off by default.
+#
+# Optional SIMD stage: BUSSENSE_SIMD=ON ./scripts/tier1.sh builds the
+# matching suites under ASan+UBSan with the vector kernels compiled in
+# (the intrinsics paths get sanitizer coverage), then builds a
+# forced-scalar-fallback tree (-DBUSSENSE_SIMD=OFF) and reruns the same
+# suites — so non-AVX2/NEON hosts stay covered by the identical property
+# surface. Off by default.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
@@ -50,4 +57,17 @@ if [[ "${BUSSENSE_FAULTS:-}" == "ON" ]]; then
   ./build-asan/tests/test_faults
   ./build-asan/tests/test_golden_accuracy
   ./build-asan/tests/test_fuzz_serialization
+fi
+
+if [[ "${BUSSENSE_SIMD:-}" == "ON" ]]; then
+  echo "==== tier-1 extra: ASan+UBSan SIMD kernels (test_matching, test_matching_simd) ===="
+  cmake -B build-asan -S . -DBUSSENSE_SANITIZE=address,undefined
+  cmake --build build-asan -j --target test_matching test_matching_simd
+  ./build-asan/tests/test_matching
+  ./build-asan/tests/test_matching_simd
+  echo "==== tier-1 extra: forced scalar-batch fallback (-DBUSSENSE_SIMD=OFF) ===="
+  cmake -B build-scalar -S . -DBUSSENSE_SIMD=OFF
+  cmake --build build-scalar -j --target test_matching test_matching_simd
+  ./build-scalar/tests/test_matching
+  ./build-scalar/tests/test_matching_simd
 fi

@@ -1,6 +1,7 @@
 #include "core/matching.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -13,7 +14,8 @@ namespace {
 // matrix per pair; for ≤7-cell fingerprints that allocation dominated the
 // arithmetic. thread_local (not static) because the concurrent server calls
 // similarity() from many ingestion workers at once.
-thread_local std::vector<double> t_rows;          ///< 2 rolling rows
+thread_local std::vector<double> t_rows;          ///< 2 rolling rows (double DP)
+thread_local std::vector<std::int32_t> t_rows10;  ///< 2 rolling rows (fixed DP)
 thread_local std::vector<double> t_matrix;        ///< full H (align only)
 thread_local std::vector<std::uint8_t> t_dir;     ///< per-cell direction
 
@@ -23,13 +25,78 @@ thread_local std::vector<std::uint8_t> t_dir;     ///< per-cell direction
 // exact regardless of how the scores were rounded.
 enum Dir : std::uint8_t { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
 
+// int16-exact fixed-point variant of the rolling DP below. The rows are kept
+// as int32 for convenience — with fixed_point_usable() holding, every cell
+// value fits int16, so this computes exactly what the 16-bit SIMD lanes of
+// core/matching_simd.cpp compute.
+double similarity_fixed(const Fingerprint& upload, const Fingerprint& database,
+                        const FixedScores& fs) {
+  const std::size_t n = upload.cells.size();
+  const std::size_t m = database.cells.size();
+  if (t_rows10.size() < 2 * (m + 1)) t_rows10.resize(2 * (m + 1));
+  std::int32_t* prev = t_rows10.data();
+  std::int32_t* cur = prev + (m + 1);
+  std::fill(prev, prev + m + 1, 0);
+  cur[0] = 0;
+  std::int32_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const CellId ai = upload.cells[i - 1];
+    for (std::size_t j = 1; j <= m; ++j) {
+      const bool eq = ai == database.cells[j - 1];
+      const std::int32_t diag = prev[j - 1] + (eq ? fs.match : -fs.mismatch);
+      const std::int32_t up = prev[j] - fs.gap;
+      const std::int32_t left = cur[j - 1] - fs.gap;
+      const std::int32_t v = std::max({0, diag, up, left});
+      cur[j] = v;
+      if (v > best) best = v;
+    }
+    std::swap(prev, cur);
+  }
+  return fixed_to_score(best);
+}
+
 }  // namespace
+
+FixedScores quantize_scores(const MatchingConfig& config) {
+  FixedScores fs;
+  const auto quantize = [](double v, std::int16_t& out) {
+    if (!std::isfinite(v) || std::abs(v) > 3276.7) return false;
+    const long long deci = std::llround(v * kFixedPointScale);
+    // Round-trip check: the parameter must BE an exact multiple of 0.1 (as
+    // doubles), or fixed-point scores would diverge from the double DP.
+    if (static_cast<double>(deci) / static_cast<double>(kFixedPointScale) != v) {
+      return false;
+    }
+    out = static_cast<std::int16_t>(deci);
+    return true;
+  };
+  fs.exact = quantize(config.match_score, fs.match) &&
+             quantize(config.mismatch_penalty, fs.mismatch) &&
+             quantize(config.gap_penalty, fs.gap);
+  if (!fs.exact) fs = FixedScores{};
+  return fs;
+}
+
+bool fixed_point_usable(const FixedScores& scores, std::size_t min_len) {
+  // Non-negative penalties keep every DP cell in [0, match·min_len] (the
+  // max() clamps at 0 and a match adds at most `match` per diagonal step),
+  // so int16 lanes cannot overflow when the best attainable score fits.
+  return scores.exact && scores.match >= 0 && scores.mismatch >= 0 &&
+         scores.gap >= 0 &&
+         static_cast<long long>(scores.match) *
+                 static_cast<long long>(min_len) <=
+             32767;
+}
 
 double similarity(const Fingerprint& upload, const Fingerprint& database,
                   const MatchingConfig& config) {
   if (upload.empty() || database.empty()) return 0.0;
   const std::size_t n = upload.cells.size();
   const std::size_t m = database.cells.size();
+  const FixedScores fs = quantize_scores(config);
+  if (fixed_point_usable(fs, std::min(n, m))) {
+    return similarity_fixed(upload, database, fs);
+  }
   // Two-row rolling DP: only the previous row is needed for the recurrence,
   // and nothing is read back after the sweep, so the full (n+1)x(m+1)
   // matrix never materialises and warm calls allocate nothing.

@@ -8,6 +8,7 @@
 // aligns with 3 matches, 1 gap and 1 mismatch for a score of 2.4.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cellular/fingerprint.h"
@@ -20,9 +21,48 @@ struct MatchingConfig {
   double gap_penalty = 0.3;       ///< subtracted per skipped element
 };
 
+/// Fixed-point (×10) quantization of the scoring parameters. Every score the
+/// paper uses is an exact multiple of 0.1 (match +1.0, mismatch/gap −0.3), so
+/// the DP can run in int16 "deci-score" units. Integer arithmetic is exact
+/// and the final deci-score converts back through one /10.0 division, so the
+/// scalar and vectorized batch paths (core/matching_simd.h) produce
+/// *bit-identical* doubles — the identity the matcher's SIMD on/off property
+/// suite pins (DESIGN.md §12).
+struct FixedScores {
+  std::int16_t match = 0;     ///< +units per matched pair
+  std::int16_t mismatch = 0;  ///< −units per aligned non-equal pair
+  std::int16_t gap = 0;       ///< −units per skipped element
+  bool exact = false;  ///< all three round-trip exactly through the ×10 scale
+};
+
+/// Deci-units per score point. Kept as a named constant so the identity
+/// argument ("exact multiples of 0.1") reads off the code.
+inline constexpr int kFixedPointScale = 10;
+
+/// The one conversion every fixed-point path uses: deci-score → double.
+/// (Division, not ×0.1 — 0.1 is not exactly representable and would round
+/// differently.)
+inline double fixed_to_score(std::int32_t deci) {
+  return static_cast<double>(deci) / static_cast<double>(kFixedPointScale);
+}
+
+/// Quantizes the config; `exact` is false when any parameter is not an
+/// exact multiple of 0.1 representable in int16 (such configs keep the
+/// double-precision DP everywhere).
+FixedScores quantize_scores(const MatchingConfig& config);
+
+/// True when the int16 DP is exact for a pair whose shorter fingerprint has
+/// `min_len` cells: parameters round-trip, penalties are non-negative (cell
+/// values then stay in [−32767, match·min_len]) and the best attainable
+/// deci-score match·min_len fits int16.
+bool fixed_point_usable(const FixedScores& scores, std::size_t min_len);
+
 /// Similarity score of the optimal local alignment (>= 0). Allocation-free
 /// on warm calls: runs a two-row rolling DP over a thread-local scratch
-/// buffer (safe to call concurrently from ingestion workers).
+/// buffer (safe to call concurrently from ingestion workers). When the
+/// config quantizes exactly (the default does) the DP runs in int16
+/// fixed-point — the same arithmetic as the SIMD batch kernel, so scores
+/// agree bitwise across paths; otherwise it falls back to doubles.
 double similarity(const Fingerprint& upload, const Fingerprint& database,
                   const MatchingConfig& config = {});
 

@@ -1,0 +1,233 @@
+#include "core/matching_simd.h"
+
+#include <algorithm>
+#include <vector>
+
+#if defined(BUSSENSE_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+#if defined(BUSSENSE_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace bussense::simd {
+
+namespace {
+
+// Two rolling DP rows of `width` int16 lanes per column, reused across
+// calls; thread_local because ingestion workers batch-score concurrently.
+thread_local std::vector<std::int16_t> t_rows;
+
+std::int16_t* rows_scratch(std::size_t m, std::size_t width) {
+  const std::size_t need = 2 * (m + 1) * width;
+  if (t_rows.size() < need) t_rows.resize(need);
+  return t_rows.data();
+}
+
+// Portable scalar batch: the reference semantics every vector kernel must
+// reproduce bit-for-bit. Plain int arithmetic over `width` independent
+// lanes — with fixed_point_usable() holding, every value fits int16, so the
+// narrowing stores are exact.
+void score_batch_scalar(const std::int16_t* upload, std::size_t n,
+                        const std::int16_t* db_t, std::size_t m,
+                        const FixedScores& fs, std::int16_t* scores10,
+                        std::size_t width) {
+  std::int16_t* prev = rows_scratch(m, width);
+  std::int16_t* cur = prev + (m + 1) * width;
+  std::fill(prev, prev + (m + 1) * width, std::int16_t{0});
+  std::fill(cur, cur + width, std::int16_t{0});  // column 0 stays 0
+  std::fill(scores10, scores10 + width, std::int16_t{0});
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::int16_t up_rank = upload[i - 1];
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::int16_t* db_row = db_t + (j - 1) * width;
+      for (std::size_t lane = 0; lane < width; ++lane) {
+        const bool eq = up_rank == db_row[lane];
+        const int diag =
+            prev[(j - 1) * width + lane] + (eq ? fs.match : -fs.mismatch);
+        const int up = prev[j * width + lane] - fs.gap;
+        const int left = cur[(j - 1) * width + lane] - fs.gap;
+        const int v = std::max({0, diag, up, left});
+        cur[j * width + lane] = static_cast<std::int16_t>(v);
+        if (v > scores10[lane]) scores10[lane] = static_cast<std::int16_t>(v);
+      }
+    }
+    std::swap(prev, cur);
+  }
+}
+
+#if defined(BUSSENSE_SIMD_AVX2)
+
+// 16 candidates per call, one per int16 lane of a 256-bit register. Compiled
+// with the `target` attribute so the TU needs no global -mavx2 (the scalar
+// paths stay runnable on any x86-64); entered only after active_kernel()'s
+// cpuid check.
+__attribute__((target("avx2"))) void score_batch_avx2(
+    const std::int16_t* upload, std::size_t n, const std::int16_t* db_t,
+    std::size_t m, const FixedScores& fs, std::int16_t* scores10) {
+  constexpr std::size_t kW = 16;
+  std::int16_t* prev = rows_scratch(m, kW);
+  std::int16_t* cur = prev + (m + 1) * kW;
+  std::fill(prev, prev + (m + 1) * kW, std::int16_t{0});
+  std::fill(cur, cur + kW, std::int16_t{0});
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vmatch = _mm256_set1_epi16(fs.match);
+  const __m256i vmismatch =
+      _mm256_set1_epi16(static_cast<std::int16_t>(-fs.mismatch));
+  const __m256i vgap = _mm256_set1_epi16(fs.gap);
+  __m256i vbest = vzero;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const __m256i vup = _mm256_set1_epi16(upload[i - 1]);
+    __m256i vleft = vzero;  // cur[j-1]; column 0 is all zeros
+    for (std::size_t j = 1; j <= m; ++j) {
+      const __m256i vdb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(db_t + (j - 1) * kW));
+      const __m256i veq = _mm256_cmpeq_epi16(vup, vdb);
+      // ±substitution selected per lane: cmpeq lanes are all-ones/all-zero,
+      // so the byte-wise blend picks whole int16 values.
+      const __m256i vsubst = _mm256_blendv_epi8(vmismatch, vmatch, veq);
+      const __m256i vdiag = _mm256_add_epi16(
+          _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(prev + (j - 1) * kW)),
+          vsubst);
+      const __m256i vupward = _mm256_sub_epi16(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev + j * kW)),
+          vgap);
+      const __m256i vleftward = _mm256_sub_epi16(vleft, vgap);
+      __m256i v = _mm256_max_epi16(vdiag, vupward);
+      v = _mm256_max_epi16(v, vleftward);
+      v = _mm256_max_epi16(v, vzero);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(cur + j * kW), v);
+      vbest = _mm256_max_epi16(vbest, v);
+      vleft = v;
+    }
+    std::swap(prev, cur);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(scores10), vbest);
+}
+
+bool host_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+#endif  // BUSSENSE_SIMD_AVX2
+
+#if defined(BUSSENSE_SIMD_NEON)
+
+// 8 candidates per call, one per int16 lane. NEON is baseline on AArch64,
+// so no runtime probe is needed — compiled-in support is enough.
+void score_batch_neon(const std::int16_t* upload, std::size_t n,
+                      const std::int16_t* db_t, std::size_t m,
+                      const FixedScores& fs, std::int16_t* scores10) {
+  constexpr std::size_t kW = 8;
+  std::int16_t* prev = rows_scratch(m, kW);
+  std::int16_t* cur = prev + (m + 1) * kW;
+  std::fill(prev, prev + (m + 1) * kW, std::int16_t{0});
+  std::fill(cur, cur + kW, std::int16_t{0});
+  const int16x8_t vzero = vdupq_n_s16(0);
+  const int16x8_t vmatch = vdupq_n_s16(fs.match);
+  const int16x8_t vmismatch = vdupq_n_s16(static_cast<std::int16_t>(-fs.mismatch));
+  const int16x8_t vgap = vdupq_n_s16(fs.gap);
+  int16x8_t vbest = vzero;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const int16x8_t vup = vdupq_n_s16(upload[i - 1]);
+    int16x8_t vleft = vzero;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const int16x8_t vdb = vld1q_s16(db_t + (j - 1) * kW);
+      const uint16x8_t veq = vceqq_s16(vup, vdb);
+      const int16x8_t vsubst = vbslq_s16(veq, vmatch, vmismatch);
+      const int16x8_t vdiag = vaddq_s16(vld1q_s16(prev + (j - 1) * kW), vsubst);
+      const int16x8_t vupward = vsubq_s16(vld1q_s16(prev + j * kW), vgap);
+      const int16x8_t vleftward = vsubq_s16(vleft, vgap);
+      int16x8_t v = vmaxq_s16(vdiag, vupward);
+      v = vmaxq_s16(v, vleftward);
+      v = vmaxq_s16(v, vzero);
+      vst1q_s16(cur + j * kW, v);
+      vbest = vmaxq_s16(vbest, v);
+      vleft = v;
+    }
+    std::swap(prev, cur);
+  }
+  vst1q_s16(scores10, vbest);
+}
+
+#endif  // BUSSENSE_SIMD_NEON
+
+}  // namespace
+
+Kernel active_kernel() {
+#if defined(BUSSENSE_SIMD_AVX2)
+  if (host_has_avx2()) return Kernel::kAvx2;
+#endif
+#if defined(BUSSENSE_SIMD_NEON)
+  return Kernel::kNeon;
+#else
+  return Kernel::kScalar;
+#endif
+}
+
+bool kernel_available(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kAuto:
+    case Kernel::kScalar:
+      return true;
+    case Kernel::kAvx2:
+#if defined(BUSSENSE_SIMD_AVX2)
+      return host_has_avx2();
+#else
+      return false;
+#endif
+    case Kernel::kNeon:
+#if defined(BUSSENSE_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const char* kernel_name(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kAuto:
+      return kernel_name(active_kernel());
+    case Kernel::kScalar:
+      return "scalar-batch";
+    case Kernel::kAvx2:
+      return "avx2";
+    case Kernel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::size_t batch_width(Kernel kernel) {
+  if (kernel == Kernel::kAuto) kernel = active_kernel();
+  return kernel == Kernel::kAvx2 ? 16 : 8;
+}
+
+void score_batch(const std::int16_t* upload, std::size_t n,
+                 const std::int16_t* db_t, std::size_t m,
+                 const FixedScores& fs, std::int16_t* scores10,
+                 Kernel kernel) {
+  if (kernel == Kernel::kAuto) kernel = active_kernel();
+  switch (kernel) {
+#if defined(BUSSENSE_SIMD_AVX2)
+    case Kernel::kAvx2:
+      score_batch_avx2(upload, n, db_t, m, fs, scores10);
+      return;
+#endif
+#if defined(BUSSENSE_SIMD_NEON)
+    case Kernel::kNeon:
+      score_batch_neon(upload, n, db_t, m, fs, scores10);
+      return;
+#endif
+    default:
+      score_batch_scalar(upload, n, db_t, m, fs, scores10,
+                         batch_width(kernel));
+      return;
+  }
+}
+
+}  // namespace bussense::simd

@@ -92,17 +92,6 @@ class TrafficServer : public TrafficIngestor {
       const std::vector<MatchedSample>& matched) const;
   MappedTrip map_trip(const std::vector<SampleCluster>& clusters) const;
 
-  /// Deprecated spellings (PR 4 renamed the ambiguous stage methods; see
-  /// DESIGN.md §8). Forwarders only — remove after one deprecation cycle.
-  [[deprecated("renamed to cluster_samples()")]]
-  std::vector<SampleCluster> cluster(const std::vector<MatchedSample>& m) const {
-    return cluster_samples(m);
-  }
-  [[deprecated("renamed to map_trip()")]]
-  MappedTrip map(const std::vector<SampleCluster>& clusters) const {
-    return map_trip(clusters);
-  }
-
   void advance_time(SimTime now) override {
     if (admission_) admission_->observe_time(now);
     fusion_.flush_until(now);

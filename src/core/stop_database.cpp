@@ -1,11 +1,51 @@
 #include "core/stop_database.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 namespace bussense {
 
+namespace {
+// int16 ranks with negative sentinels reserved: ranks 0..32767.
+constexpr std::size_t kMaxRanks = 32768;
+}  // namespace
+
+StopDatabase::StopDatabase(const StopDatabase& other)
+    : records_(other.records_),
+      index_(other.index_),
+      postings_(other.postings_) {}
+
+StopDatabase& StopDatabase::operator=(const StopDatabase& other) {
+  if (this != &other) {
+    records_ = other.records_;
+    index_ = other.index_;
+    postings_ = other.postings_;
+    quantized_ready_.store(false, std::memory_order_release);
+  }
+  return *this;
+}
+
+StopDatabase::StopDatabase(StopDatabase&& other) noexcept
+    : records_(std::move(other.records_)),
+      index_(std::move(other.index_)),
+      postings_(std::move(other.postings_)) {
+  other.quantized_ready_.store(false, std::memory_order_release);
+}
+
+StopDatabase& StopDatabase::operator=(StopDatabase&& other) noexcept {
+  if (this != &other) {
+    records_ = std::move(other.records_);
+    index_ = std::move(other.index_);
+    postings_ = std::move(other.postings_);
+    quantized_ready_.store(false, std::memory_order_release);
+    other.quantized_ready_.store(false, std::memory_order_release);
+  }
+  return *this;
+}
+
 void StopDatabase::add(StopId effective_stop, Fingerprint fingerprint) {
+  quantized_ready_.store(false, std::memory_order_release);
   if (const auto it = index_.find(effective_stop); it != index_.end()) {
     const auto rec = static_cast<std::uint32_t>(it->second);
     unindex_cells(rec);
@@ -43,6 +83,61 @@ const std::vector<std::uint32_t>* StopDatabase::postings(CellId cell) const {
   const auto it = postings_.find(cell);
   if (it == postings_.end()) return nullptr;
   return &it->second;
+}
+
+const StopDatabase::QuantizedView& StopDatabase::quantized() const {
+  // Double-checked lazy build: the hot path (matcher batch scoring) pays one
+  // acquire load; the first caller after a mutation rebuilds under the lock.
+  if (!quantized_ready_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(quantized_mutex_);
+    if (!quantized_ready_.load(std::memory_order_relaxed)) {
+      auto view = std::make_unique<QuantizedView>();
+      build_quantized(*view);
+      quantized_ = std::move(view);
+      quantized_ready_.store(true, std::memory_order_release);
+    }
+  }
+  return *quantized_;
+}
+
+void StopDatabase::build_quantized(QuantizedView& view) const {
+  view.record.resize(records_.size());
+  // Length-class grouping: lay the rank arrays out in (length, record id)
+  // order so same-length candidates — which the kernel batches together —
+  // sit contiguously. RecordRef keeps O(1) lookup by record position.
+  std::vector<std::uint32_t> order(records_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return records_[a].fingerprint.cells.size() <
+                            records_[b].fingerprint.cells.size();
+                   });
+  std::size_t total = 0;
+  for (const StopRecord& r : records_) total += r.fingerprint.cells.size();
+  view.ranks.reserve(total);
+  view.valid = true;
+  for (const std::uint32_t rec : order) {
+    const std::vector<CellId>& cells = records_[rec].fingerprint.cells;
+    view.record[rec] = {static_cast<std::uint32_t>(view.ranks.size()),
+                        static_cast<std::uint32_t>(cells.size())};
+    for (const CellId cell : cells) {
+      const auto it = view.dictionary.find(cell);
+      if (it != view.dictionary.end()) {
+        view.ranks.push_back(it->second);
+        continue;
+      }
+      if (view.dictionary.size() >= kMaxRanks) {
+        // Rank space exhausted: mark the whole view unusable (callers keep
+        // the scalar representation) but leave it structurally consistent.
+        view.valid = false;
+        view.ranks.push_back(simd::kUnknownRank);
+        continue;
+      }
+      const auto rank = static_cast<std::int16_t>(view.dictionary.size());
+      view.dictionary.emplace(cell, rank);
+      view.ranks.push_back(rank);
+    }
+  }
 }
 
 const Fingerprint* StopDatabase::fingerprint_of(StopId effective_stop) const {

@@ -9,8 +9,11 @@
 // chosen as the fingerprint".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +21,7 @@
 #include "cellular/fingerprint.h"
 #include "citynet/city.h"
 #include "core/matching.h"
+#include "core/matching_simd.h"
 
 namespace bussense {
 
@@ -28,6 +32,14 @@ struct StopRecord {
 
 class StopDatabase {
  public:
+  StopDatabase() = default;
+  // The quantized-view cache (mutex/atomic/unique_ptr) is per-instance and
+  // rebuilt lazily, so copies/moves transfer only the logical state.
+  StopDatabase(const StopDatabase& other);
+  StopDatabase& operator=(const StopDatabase& other);
+  StopDatabase(StopDatabase&& other) noexcept;
+  StopDatabase& operator=(StopDatabase&& other) noexcept;
+
   /// Adds or replaces the fingerprint of an effective stop.
   void add(StopId effective_stop, Fingerprint fingerprint);
 
@@ -42,13 +54,54 @@ class StopDatabase {
   /// generate match candidates instead of scanning the whole database.
   const std::vector<std::uint32_t>* postings(CellId cell) const;
 
+  /// Quantized SoA mirror of records() (DESIGN.md §12): every cell ID is
+  /// mapped to a dense int16 rank through a DB-owned dictionary, and the
+  /// rank arrays are stored contiguously grouped by fingerprint-length
+  /// class — the layout the batch-scoring kernel (core/matching_simd.h)
+  /// packs its transposed lanes from. Equality is preserved exactly (the
+  /// dictionary is injective), so rank-space alignment scores equal
+  /// cell-ID-space scores bitwise.
+  struct QuantizedView {
+    /// One entry per records() position.
+    struct RecordRef {
+      std::uint32_t offset = 0;  ///< start of this record's ranks
+      std::uint32_t length = 0;  ///< fingerprint length in cells
+    };
+
+    /// False when the dictionary outgrew the int16 rank space (> 32768
+    /// distinct cell IDs) — callers must fall back to the scalar
+    /// representation. The paper's whole-city deployments sit 4 orders of
+    /// magnitude below the cap.
+    bool valid = false;
+    std::vector<std::int16_t> ranks;  ///< all fingerprints, length-grouped
+    std::vector<RecordRef> record;    ///< indexed by record position
+    std::unordered_map<CellId, std::int16_t> dictionary;
+
+    /// Rank of an upload cell; simd::kUnknownRank when the database never
+    /// saw the cell (compares unequal to every stored rank by design).
+    std::int16_t rank_of(CellId cell) const {
+      const auto it = dictionary.find(cell);
+      return it == dictionary.end() ? simd::kUnknownRank : it->second;
+    }
+  };
+
+  /// The quantized view, built lazily on first use. Concurrent readers are
+  /// safe (double-checked build under a mutex); add() invalidates the view
+  /// and, like all mutation, must not race readers.
+  const QuantizedView& quantized() const;
+
  private:
   void index_cells(std::uint32_t record);
   void unindex_cells(std::uint32_t record);
+  void build_quantized(QuantizedView& view) const;
 
   std::vector<StopRecord> records_;
   std::unordered_map<StopId, std::size_t> index_;
   std::unordered_map<CellId, std::vector<std::uint32_t>> postings_;
+
+  mutable std::mutex quantized_mutex_;
+  mutable std::unique_ptr<QuantizedView> quantized_;
+  mutable std::atomic<bool> quantized_ready_{false};
 };
 
 /// Medoid selection: the sample with the highest summed similarity to the

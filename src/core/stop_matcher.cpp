@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <numeric>
 #include <stdexcept>
 
 namespace bussense {
@@ -17,6 +18,30 @@ struct CandidateScratch {
   std::vector<std::uint32_t> touched;
 };
 thread_local CandidateScratch t_scratch;
+
+// Retention cap for the candidate scratch. One match() against a huge
+// database would otherwise pin O(db) counts capacity for the thread's whole
+// lifetime (ingestion workers are long-lived); above this many entries the
+// scratch is rebuilt at the size the current database actually needs.
+constexpr std::size_t kScratchRetainEntries = std::size_t{1} << 16;
+
+// Batch-scoring scratch for the SIMD path (one per thread, reused):
+// the quantized upload, the survivors (record ids ascending) with their γ
+// upper bounds, per-survivor scores, the length-class processing order and
+// the kernel's transposed lane block.
+struct BatchScratch {
+  std::vector<std::int16_t> sample_ranks;
+  std::vector<std::uint32_t> survivors;
+  std::vector<double> bounds;
+  std::vector<double> scores;  ///< kNotScored until a DP ran
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> lane_record;
+  std::vector<std::int16_t> db_t;
+  std::vector<std::int16_t> lane_scores;
+};
+thread_local BatchScratch t_batch;
+
+constexpr double kNotScored = -1.0;  // real scores are >= 0
 
 }  // namespace
 
@@ -36,11 +61,13 @@ void StopMatcherConfig::validate() const {
 StopMatcher::StopMatcher(const StopDatabase& database, StopMatcherConfig config)
     : database_(&database), config_(config) {
   config_.validate();
+  fixed_ = quantize_scores(config_.matching);
 }
 
 void StopMatcher::bind_metrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
-    calls_ = considered_ = candidates_ = pruned_ = accepted_ = nullptr;
+    calls_ = considered_ = candidates_ = pruned_ = accepted_ = bound_skipped_ =
+        nullptr;
     return;
   }
   calls_ = &registry->counter("matcher.calls");
@@ -48,6 +75,7 @@ void StopMatcher::bind_metrics(MetricsRegistry* registry) {
   candidates_ = &registry->counter("matcher.gamma_candidates");
   pruned_ = &registry->counter("matcher.records_pruned");
   accepted_ = &registry->counter("matcher.records_accepted");
+  bound_skipped_ = &registry->counter("matcher.records_bound_skipped");
 }
 
 void StopMatcher::flush(const MatchStats& local, MatchStats* stats) const {
@@ -58,6 +86,7 @@ void StopMatcher::flush(const MatchStats& local, MatchStats* stats) const {
     candidates_->add(local.gamma_candidates);
     pruned_->add(local.records_pruned);
     accepted_->add(local.records_accepted);
+    bound_skipped_->add(local.records_bound_skipped);
   }
 }
 
@@ -70,9 +99,34 @@ bool StopMatcher::index_usable() const {
          config_.matching.gap_penalty >= 0.0 && config_.accept_threshold > 0.0;
 }
 
+bool StopMatcher::simd_active() const {
+  // The batch path needs the exact fixed-point arithmetic (for the
+  // bit-identity contract) and the same soundness conditions as the γ
+  // bound; anything else keeps the scalar scan, which — since the scalar
+  // path is the reference — is trivially identical across the knob.
+  // It also needs a vector unit to pay for the batch packing: without
+  // AVX2/NEON the lane-major scalar batch is slower than the plain DP
+  // (measured ~0.5–0.8x), so kernel-less hosts keep the classic loop.
+  return config_.accel.use_simd &&
+         simd::active_kernel() != simd::Kernel::kScalar && fixed_.exact &&
+         fixed_.match > 0 && fixed_.mismatch >= 0 && fixed_.gap >= 0 &&
+         config_.accept_threshold > 0.0 && database_->quantized().valid;
+}
+
+std::size_t StopMatcher::thread_scratch_capacity() {
+  return t_scratch.counts.capacity();
+}
+
 const std::vector<std::uint32_t>& StopMatcher::gather_candidates(
     const Fingerprint& sample) const {
   CandidateScratch& s = t_scratch;
+  if (s.counts.capacity() > kScratchRetainEntries &&
+      std::max(database_->size(), kScratchRetainEntries) < s.counts.capacity()) {
+    // Shrink back after a huge-database excursion: swap in right-sized
+    // buffers (assign/shrink_to_fit may legally keep the old capacity).
+    std::vector<std::uint32_t>(database_->size(), 0).swap(s.counts);
+    std::vector<std::uint32_t>().swap(s.touched);
+  }
   if (s.counts.size() < database_->size()) s.counts.resize(database_->size(), 0);
   for (const std::uint32_t rec : s.touched) s.counts[rec] = 0;
   s.touched.clear();
@@ -89,11 +143,172 @@ const std::vector<std::uint32_t>& StopMatcher::gather_candidates(
   return s.touched;
 }
 
+void StopMatcher::collect_survivors(const Fingerprint& sample,
+                                    MatchStats& local) const {
+  BatchScratch& b = t_batch;
+  b.survivors.clear();
+  b.bounds.clear();
+  const double ms = config_.matching.match_score;
+  const auto push = [&](std::uint32_t rec, double bound) {
+    if (bound < config_.accept_threshold) return;  // cannot reach γ
+    b.survivors.push_back(rec);
+    b.bounds.push_back(bound);
+  };
+  if (index_usable()) {
+    for (const std::uint32_t rec : gather_candidates(sample)) {
+      // Upper bound: at most one match per shared cell occurrence, and no
+      // more matches than the shorter fingerprint has cells.
+      push(rec, std::min(ms * t_scratch.counts[rec],
+                         max_similarity(sample,
+                                        database_->records()[rec].fingerprint,
+                                        config_.matching)));
+    }
+  } else {
+    for (std::uint32_t rec = 0;
+         rec < static_cast<std::uint32_t>(database_->size()); ++rec) {
+      push(rec, max_similarity(sample, database_->records()[rec].fingerprint,
+                               config_.matching));
+    }
+  }
+  local.gamma_candidates = b.survivors.size();
+}
+
+void StopMatcher::score_survivors(const Fingerprint& sample,
+                                  bool prune_incumbent,
+                                  MatchStats& local) const {
+  BatchScratch& b = t_batch;
+  const StopDatabase::QuantizedView& qv = database_->quantized();
+  const std::size_t n = sample.cells.size();
+
+  // Quantize the upload once per call.
+  b.sample_ranks.clear();
+  b.sample_ranks.reserve(n);
+  for (const CellId cell : sample.cells) {
+    b.sample_ranks.push_back(qv.rank_of(cell));
+  }
+
+  const std::size_t count = b.survivors.size();
+  b.scores.assign(count, kNotScored);
+  // Process survivors grouped by length class so every batch shares one DP
+  // shape; stable sort keeps record order inside a class.
+  b.order.resize(count);
+  std::iota(b.order.begin(), b.order.end(), 0u);
+  std::stable_sort(b.order.begin(), b.order.end(),
+                   [&](std::uint32_t x, std::uint32_t y) {
+                     return qv.record[b.survivors[x]].length <
+                            qv.record[b.survivors[y]].length;
+                   });
+
+  const simd::Kernel kernel = simd::active_kernel();
+  const std::size_t width = simd::batch_width(kernel);
+  b.lane_scores.resize(width);
+  b.lane_record.reserve(width);
+
+  // Incumbent best score so far. Skipping a survivor whose bound is
+  // *strictly* below it is sound in any processing order: the final best can
+  // only be higher, so the skipped record can neither win nor tie.
+  double best_score = kNotScored;
+  const auto note_score = [&](std::size_t idx, double score) {
+    b.scores[idx] = score;
+    if (score > best_score) best_score = score;
+    ++local.records_accepted;
+  };
+
+  std::size_t pos = 0;
+  while (pos < count) {
+    const std::uint32_t class_len = qv.record[b.survivors[b.order[pos]]].length;
+    std::size_t end = pos;
+    while (end < count &&
+           qv.record[b.survivors[b.order[end]]].length == class_len) {
+      ++end;
+    }
+    if (!fixed_point_usable(fixed_, std::min(n, std::size_t{class_len}))) {
+      // Degenerate class (e.g. fingerprints long enough to overflow int16
+      // deci-scores): score scalar — similarity() makes the identical
+      // fixed/double choice per pair, preserving bit-identity.
+      for (std::size_t k = pos; k < end; ++k) {
+        const std::size_t idx = b.order[k];
+        if (prune_incumbent && best_score >= 0.0 &&
+            b.bounds[idx] < best_score) {
+          ++local.records_bound_skipped;
+          continue;
+        }
+        note_score(idx,
+                   similarity(sample,
+                              database_->records()[b.survivors[idx]].fingerprint,
+                              config_.matching));
+      }
+      pos = end;
+      continue;
+    }
+    // Kernel batches of `width` lanes over this class.
+    b.db_t.resize(std::size_t{class_len} * width);
+    std::size_t k = pos;
+    while (k < end) {
+      b.lane_record.clear();
+      while (k < end && b.lane_record.size() < width) {
+        const std::size_t idx = b.order[k++];
+        if (prune_incumbent && best_score >= 0.0 &&
+            b.bounds[idx] < best_score) {
+          ++local.records_bound_skipped;
+          continue;
+        }
+        b.lane_record.push_back(static_cast<std::uint32_t>(idx));
+      }
+      if (b.lane_record.empty()) continue;
+      const std::size_t lanes = b.lane_record.size();
+      // Transpose the candidates' rank arrays into lane-major rows; unused
+      // lanes carry kPadRank, which matches nothing and scores 0.
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        const StopDatabase::QuantizedView::RecordRef ref =
+            qv.record[b.survivors[b.lane_record[lane]]];
+        const std::int16_t* src = qv.ranks.data() + ref.offset;
+        for (std::size_t j = 0; j < class_len; ++j) {
+          b.db_t[j * width + lane] = src[j];
+        }
+      }
+      for (std::size_t lane = lanes; lane < width; ++lane) {
+        for (std::size_t j = 0; j < class_len; ++j) {
+          b.db_t[j * width + lane] = simd::kPadRank;
+        }
+      }
+      simd::score_batch(b.sample_ranks.data(), n, b.db_t.data(), class_len,
+                        fixed_, b.lane_scores.data(), kernel);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        note_score(b.lane_record[lane], fixed_to_score(b.lane_scores[lane]));
+      }
+    }
+    pos = end;
+  }
+}
+
 std::optional<MatchResult> StopMatcher::match(const Fingerprint& sample,
                                               MatchStats* stats) const {
   MatchStats local;
   local.records_considered = database_->size();
   std::optional<MatchResult> best;
+
+  if (simd_active()) {
+    collect_survivors(sample, local);
+    score_survivors(sample, /*prune_incumbent=*/true, local);
+    const BatchScratch& b = t_batch;
+    // Selection in ascending record order reproduces the scalar loop's
+    // tie-breaks exactly (first record wins equal (score, common)).
+    for (std::size_t i = 0; i < b.survivors.size(); ++i) {
+      const double score = b.scores[i];
+      if (score < config_.accept_threshold) continue;  // skipped or below γ
+      const StopRecord& record = database_->records()[b.survivors[i]];
+      const int common = common_cell_count(sample, record.fingerprint);
+      const bool better =
+          !best || score > best->score ||
+          (score == best->score && common > best->common_cells);
+      if (better) best = MatchResult{record.stop, score, common};
+    }
+    local.records_pruned = local.records_considered - local.records_accepted;
+    flush(local, stats);
+    return best;
+  }
+
   const auto consider = [&](const StopRecord& record) {
     ++local.records_accepted;
     const double score = similarity(sample, record.fingerprint, config_.matching);
@@ -125,7 +340,10 @@ std::optional<MatchResult> StopMatcher::match(const Fingerprint& sample,
     ++local.gamma_candidates;
     // A candidate strictly below the incumbent score can neither win nor
     // tie (tie-breaks only apply at equal scores), so skip its DP.
-    if (best && bound < best->score) continue;
+    if (best && bound < best->score) {
+      ++local.records_bound_skipped;
+      continue;
+    }
     consider(record);
   }
   local.records_pruned = local.records_considered - local.records_accepted;
@@ -138,28 +356,42 @@ std::vector<MatchResult> StopMatcher::match_all(const Fingerprint& sample,
   MatchStats local;
   local.records_considered = database_->size();
   std::vector<MatchResult> out;
-  const auto consider = [&](const StopRecord& record) {
-    ++local.records_accepted;
-    const double score = similarity(sample, record.fingerprint, config_.matching);
-    if (score >= config_.accept_threshold) {
+
+  if (simd_active()) {
+    collect_survivors(sample, local);
+    score_survivors(sample, /*prune_incumbent=*/false, local);
+    const BatchScratch& b = t_batch;
+    for (std::size_t i = 0; i < b.survivors.size(); ++i) {
+      const double score = b.scores[i];
+      if (score < config_.accept_threshold) continue;
+      const StopRecord& record = database_->records()[b.survivors[i]];
       out.push_back(MatchResult{record.stop, score,
                                 common_cell_count(sample, record.fingerprint)});
     }
-  };
-
-  if (!index_usable()) {
-    local.gamma_candidates = database_->size();
-    for (const StopRecord& record : database_->records()) consider(record);
   } else {
-    const double ms = config_.matching.match_score;
-    for (const std::uint32_t rec : gather_candidates(sample)) {
-      const StopRecord& record = database_->records()[rec];
-      const double bound = std::min(ms * t_scratch.counts[rec],
-                                    max_similarity(sample, record.fingerprint,
-                                                   config_.matching));
-      if (bound < config_.accept_threshold) continue;
-      ++local.gamma_candidates;
-      consider(record);
+    const auto consider = [&](const StopRecord& record) {
+      ++local.records_accepted;
+      const double score =
+          similarity(sample, record.fingerprint, config_.matching);
+      if (score >= config_.accept_threshold) {
+        out.push_back(MatchResult{record.stop, score,
+                                  common_cell_count(sample, record.fingerprint)});
+      }
+    };
+    if (!index_usable()) {
+      local.gamma_candidates = database_->size();
+      for (const StopRecord& record : database_->records()) consider(record);
+    } else {
+      const double ms = config_.matching.match_score;
+      for (const std::uint32_t rec : gather_candidates(sample)) {
+        const StopRecord& record = database_->records()[rec];
+        const double bound = std::min(ms * t_scratch.counts[rec],
+                                      max_similarity(sample, record.fingerprint,
+                                                     config_.matching));
+        if (bound < config_.accept_threshold) continue;
+        ++local.gamma_candidates;
+        consider(record);
+      }
     }
   }
   local.records_pruned = local.records_considered - local.records_accepted;

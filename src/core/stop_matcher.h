@@ -13,12 +13,22 @@
 // aligns only the records passing that bound — with results identical to
 // the full scan. `accel.use_index = false` keeps the brute-force scan for
 // the scalability ablations.
+//
+// Surviving candidates are scored through the fixed-point batch kernel
+// (core/matching_simd.h) 8–16 at a time when `accel.use_simd` is on and the
+// scoring parameters quantize exactly; an upper-bound prescreen
+// (shared-cell count × match_score, the same trick as CellScanner's RSS
+// precheck) additionally skips candidates that provably cannot beat the
+// incumbent best. Both are pure optimisations: results — scores, winners,
+// tie-breaks — are bit-identical to the scalar scan (property-tested in
+// tests/test_matching_simd.cpp).
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "core/matching.h"
+#include "core/matching_simd.h"
 #include "core/stop_database.h"
 #include "obs/metrics.h"
 
@@ -35,6 +45,16 @@ struct StopMatcherConfig {
     /// the full scan automatically when the γ-derived bound is unsound
     /// (negative penalties, non-positive match score or threshold).
     bool use_index = true;
+    /// Batch-score candidates through the runtime-dispatched fixed-point
+    /// kernel (AVX2/NEON/scalar-batch, core/matching_simd.h), with the
+    /// incumbent upper-bound prescreen. Engages only when the scoring
+    /// parameters quantize exactly (×10), γ > 0, the database's
+    /// quantized view is valid and a vector unit backs the kernel at
+    /// runtime (without AVX2/NEON the batch packing costs more than it
+    /// saves, so those hosts keep the classic scalar loop); match
+    /// results are bit-identical either way, so the knob is pure
+    /// performance (stats profiles differ).
+    bool use_simd = true;
   };
   Acceleration accel;
 
@@ -58,6 +78,10 @@ struct MatchStats {
   std::size_t gamma_candidates = 0;    ///< records surviving the γ bound
   std::size_t records_pruned = 0;      ///< records never run through the DP
   std::size_t records_accepted = 0;    ///< records actually aligned
+  /// γ-passing candidates whose upper bound could not beat the incumbent
+  /// best score, so their DP was provably unnecessary (SIMD path only;
+  /// included in records_pruned).
+  std::size_t records_bound_skipped = 0;
 
   void reset() { *this = MatchStats{}; }
   void merge(const MatchStats& other) {
@@ -65,6 +89,7 @@ struct MatchStats {
     gamma_candidates += other.gamma_candidates;
     records_pruned += other.records_pruned;
     records_accepted += other.records_accepted;
+    records_bound_skipped += other.records_bound_skipped;
   }
 };
 
@@ -82,12 +107,20 @@ class StopMatcher {
 
   /// Accumulates every call's MatchStats into `registry` (counters
   /// `matcher.calls`, `matcher.records_considered/pruned/accepted`,
-  /// `matcher.gamma_candidates`). Counter updates are lock-free, so bound
-  /// matchers stay safe to use from many threads; recording never affects
-  /// match results. Pass nullptr to unbind.
+  /// `matcher.gamma_candidates`, `matcher.records_bound_skipped`). Counter
+  /// updates are lock-free, so bound matchers stay safe to use from many
+  /// threads; recording never affects match results. Pass nullptr to unbind.
   void bind_metrics(MetricsRegistry* registry);
 
   const StopMatcherConfig& config() const { return config_; }
+
+  /// True when match()/match_all() will take the batch-kernel path for this
+  /// matcher (knob on, exact fixed-point config, valid quantized view).
+  bool simd_active() const;
+
+  /// Capacity (entries) of the calling thread's candidate scratch — test
+  /// hook for the retention cap (DESIGN.md §12).
+  static std::size_t thread_scratch_capacity();
 
  private:
   bool index_usable() const;
@@ -95,10 +128,18 @@ class StopMatcher {
   /// records ascending; returns the list of touched records.
   const std::vector<std::uint32_t>& gather_candidates(
       const Fingerprint& sample) const;
+  /// Candidate record ids + γ upper bounds for the SIMD path, via the index
+  /// when usable, else the full record range with the length-derived bound.
+  void collect_survivors(const Fingerprint& sample, MatchStats& local) const;
+  /// Batch-scores the collected survivors into the thread-local scratch;
+  /// `prune_incumbent` enables the cannot-beat-the-best skip (match() only).
+  void score_survivors(const Fingerprint& sample, bool prune_incumbent,
+                       MatchStats& local) const;
   void flush(const MatchStats& local, MatchStats* stats) const;
 
   const StopDatabase* database_;
   StopMatcherConfig config_;
+  FixedScores fixed_;  ///< quantized scoring parameters (cached)
   // Cached instrument handles (null when unbound). The registry outlives
   // the matcher by contract.
   Counter* calls_ = nullptr;
@@ -106,6 +147,7 @@ class StopMatcher {
   Counter* candidates_ = nullptr;
   Counter* pruned_ = nullptr;
   Counter* accepted_ = nullptr;
+  Counter* bound_skipped_ = nullptr;
 };
 
 }  // namespace bussense

@@ -696,31 +696,5 @@ TEST(ShardedIngestDeterminism, CrossShardMergeByteIdenticalAcrossReshuffledRuns)
   }
 }
 
-// ------------------------------------------------------------ deprecation
-
-// The renamed stage methods keep forwarding wrappers for one cycle; this
-// test pins their behaviour (and locally silences the deprecation noise).
-TEST(DeprecatedWrappers, ForwardToRenamedStageMethods) {
-  const Testbed& bed = testbed();
-  TrafficServer server(bed.world.city(), bed.database);
-  const auto matched = server.match_samples(bed.trips[0].upload);
-#ifdef __GNUC__
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  const auto via_old_cluster = server.cluster(matched);
-  const MappedTrip via_old_map = server.map(via_old_cluster);
-#ifdef __GNUC__
-#pragma GCC diagnostic pop
-#endif
-  const auto via_new_cluster = server.cluster_samples(matched);
-  const MappedTrip via_new_map = server.map_trip(via_new_cluster);
-  ASSERT_EQ(via_old_cluster.size(), via_new_cluster.size());
-  ASSERT_EQ(via_old_map.stops.size(), via_new_map.stops.size());
-  for (std::size_t i = 0; i < via_old_map.stops.size(); ++i) {
-    EXPECT_EQ(via_old_map.stops[i].stop, via_new_map.stops[i].stop);
-  }
-}
-
 }  // namespace
 }  // namespace bussense

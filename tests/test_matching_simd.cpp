@@ -1,0 +1,451 @@
+// Property suite for the fixed-point batch-scoring kernel and the matcher's
+// SIMD path (DESIGN.md §12).
+//
+// The contract under test: the vectorized path is a *pure optimisation* —
+// similarity()/match()/match_all() results (scores, winners, tie-breaks by
+// common-cell count, below-γ rejections) are bit-identical across every
+// kernel (AVX2 / NEON / scalar batch) and across index on/off × SIMD
+// on/off, for randomized fingerprints, degenerate lengths (0/1/max),
+// duplicate cell IDs and non-quantizable scoring configs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/matching.h"
+#include "core/matching_simd.h"
+#include "core/stop_database.h"
+#include "core/stop_matcher.h"
+
+namespace bussense {
+namespace {
+
+Fingerprint random_fingerprint(Rng& rng, int len, int pool) {
+  Fingerprint fp;
+  for (int i = 0; i < len; ++i) fp.cells.push_back(rng.uniform_int(1, pool));
+  return fp;
+}
+
+// ------------------------------------------------- fixed-point quantization
+
+TEST(FixedPoint, DefaultConfigQuantizesExactly) {
+  const FixedScores fs = quantize_scores(MatchingConfig{});
+  EXPECT_TRUE(fs.exact);
+  EXPECT_EQ(fs.match, 10);
+  EXPECT_EQ(fs.mismatch, 3);
+  EXPECT_EQ(fs.gap, 3);
+}
+
+TEST(FixedPoint, NonDeciMultiplesAreRejected) {
+  MatchingConfig cfg;
+  cfg.mismatch_penalty = 0.25;  // llround→3, but 0.3 != 0.25
+  EXPECT_FALSE(quantize_scores(cfg).exact);
+  cfg.mismatch_penalty = 0.3;
+  cfg.match_score = 1.0 + 1e-12;
+  EXPECT_FALSE(quantize_scores(cfg).exact);
+  cfg.match_score = 4000.0;  // 40000 deci-units overflow int16
+  EXPECT_FALSE(quantize_scores(cfg).exact);
+}
+
+TEST(FixedPoint, UsabilityTracksOverflowBound) {
+  const FixedScores fs = quantize_scores(MatchingConfig{});
+  EXPECT_TRUE(fixed_point_usable(fs, 0));
+  EXPECT_TRUE(fixed_point_usable(fs, 7));
+  EXPECT_TRUE(fixed_point_usable(fs, 3276));   // 32760 fits int16
+  EXPECT_FALSE(fixed_point_usable(fs, 3277));  // 32770 would overflow
+  MatchingConfig negative;
+  negative.gap_penalty = -0.3;  // growth along gaps breaks the bound proof
+  EXPECT_FALSE(fixed_point_usable(quantize_scores(negative), 7));
+}
+
+TEST(FixedPoint, ScalarSimilarityMatchesPaperInstanceExactly) {
+  // {1,2,3,4,5} vs {1,7,3,5}: 3 matches − 1 gap − 1 mismatch = 24 deci.
+  const Fingerprint upload{{1, 2, 3, 4, 5}};
+  const Fingerprint database{{1, 7, 3, 5}};
+  EXPECT_EQ(similarity(upload, database), fixed_to_score(24));
+}
+
+// ----------------------------------------------------------- kernel identity
+
+std::vector<simd::Kernel> available_kernels() {
+  std::vector<simd::Kernel> out{simd::Kernel::kScalar};
+  if (simd::kernel_available(simd::Kernel::kAvx2)) {
+    out.push_back(simd::Kernel::kAvx2);
+  }
+  if (simd::kernel_available(simd::Kernel::kNeon)) {
+    out.push_back(simd::Kernel::kNeon);
+  }
+  return out;
+}
+
+TEST(KernelDispatch, ActiveKernelIsAvailableAndNamed) {
+  const simd::Kernel k = simd::active_kernel();
+  EXPECT_NE(k, simd::Kernel::kAuto);
+  EXPECT_TRUE(simd::kernel_available(k));
+  EXPECT_STRNE(simd::kernel_name(k), "unknown");
+  EXPECT_EQ(simd::batch_width(k), k == simd::Kernel::kAvx2 ? 16u : 8u);
+  EXPECT_EQ(simd::batch_width(simd::Kernel::kAuto), simd::batch_width(k));
+}
+
+// Every compiled kernel scores a transposed batch identically to per-pair
+// scalar similarity() — the core bit-identity the matcher relies on. Runs
+// rank-space batches against cell-ID-space similarity() via an identity
+// dictionary (ranks == cell ids), which the quantization argument reduces to.
+class KernelIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KernelIdentity, BatchScoresEqualScalarSimilarity) {
+  Rng rng(GetParam());
+  const FixedScores fs = quantize_scores(MatchingConfig{});
+  for (const simd::Kernel kernel : available_kernels()) {
+    const std::size_t width = simd::batch_width(kernel);
+    std::vector<std::int16_t> db_t;
+    std::vector<std::int16_t> scores10(width);
+    for (int trial = 0; trial < 50; ++trial) {
+      // Degenerate lengths on purpose: n in 0..8, m in 1..8, small pools
+      // force duplicates and unknown-cell mismatches.
+      const int n = rng.uniform_int(0, 8);
+      const int m = rng.uniform_int(1, 8);
+      const int pool = rng.uniform_int(2, 12);
+      const Fingerprint upload = random_fingerprint(rng, n, pool);
+      std::vector<Fingerprint> lanes;
+      const std::size_t used = 1 + rng.uniform_int(0, static_cast<int>(width) - 1);
+      for (std::size_t l = 0; l < used; ++l) {
+        lanes.push_back(random_fingerprint(rng, m, pool));
+      }
+      // Identity quantization: cell ids are already small ints.
+      std::vector<std::int16_t> up(upload.cells.begin(), upload.cells.end());
+      db_t.assign(static_cast<std::size_t>(m) * width, simd::kPadRank);
+      for (std::size_t l = 0; l < used; ++l) {
+        for (int j = 0; j < m; ++j) {
+          db_t[static_cast<std::size_t>(j) * width + l] =
+              static_cast<std::int16_t>(lanes[l].cells[j]);
+        }
+      }
+      simd::score_batch(up.data(), up.size(), db_t.data(), m, fs,
+                        scores10.data(), kernel);
+      for (std::size_t l = 0; l < used; ++l) {
+        EXPECT_EQ(fixed_to_score(scores10[l]), similarity(upload, lanes[l]))
+            << simd::kernel_name(kernel) << " lane " << l << ": "
+            << to_string(upload) << " vs " << to_string(lanes[l]);
+      }
+      for (std::size_t l = used; l < width; ++l) {
+        EXPECT_EQ(scores10[l], 0) << "pad lane " << l << " must score 0";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelIdentity, ::testing::Values(21, 22, 23));
+
+TEST(KernelIdentity, CompiledKernelsAgreeWithEachOther) {
+  // Redundant with the scalar comparison above but pins the cross-ISA
+  // claim directly on hosts that have a vector unit.
+  const auto kernels = available_kernels();
+  if (kernels.size() < 2) GTEST_SKIP() << "no vector kernel compiled in";
+  Rng rng(99);
+  const FixedScores fs = quantize_scores(MatchingConfig{});
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = rng.uniform_int(1, 7);
+    const int m = rng.uniform_int(1, 7);
+    const Fingerprint upload = random_fingerprint(rng, n, 9);
+    // Build one batch per kernel width from the same candidates.
+    std::vector<Fingerprint> cands;
+    for (std::size_t l = 0; l < 8; ++l) {
+      cands.push_back(random_fingerprint(rng, m, 9));
+    }
+    std::vector<std::int16_t> up(upload.cells.begin(), upload.cells.end());
+    std::vector<std::vector<std::int16_t>> results;
+    for (const simd::Kernel kernel : kernels) {
+      const std::size_t width = simd::batch_width(kernel);
+      std::vector<std::int16_t> db_t(static_cast<std::size_t>(m) * width,
+                                     simd::kPadRank);
+      for (std::size_t l = 0; l < cands.size(); ++l) {
+        for (int j = 0; j < m; ++j) {
+          db_t[static_cast<std::size_t>(j) * width + l] =
+              static_cast<std::int16_t>(cands[l].cells[j]);
+        }
+      }
+      std::vector<std::int16_t> scores10(width);
+      simd::score_batch(up.data(), up.size(), db_t.data(), m, fs,
+                        scores10.data(), kernel);
+      scores10.resize(cands.size());
+      results.push_back(std::move(scores10));
+    }
+    for (std::size_t k = 1; k < results.size(); ++k) {
+      EXPECT_EQ(results[k], results[0]) << simd::kernel_name(kernels[k]);
+    }
+  }
+}
+
+// ------------------------------------------------------------ quantized view
+
+TEST(QuantizedView, DictionaryIsInjectiveAndRanksMirrorRecords) {
+  StopDatabase db;
+  db.add(1, Fingerprint{{100, 200, 300}});
+  db.add(2, Fingerprint{{200, 400}});
+  db.add(3, Fingerprint{{100, 100, 500}});  // duplicate cell in one print
+  const StopDatabase::QuantizedView& qv = db.quantized();
+  ASSERT_TRUE(qv.valid);
+  ASSERT_EQ(qv.record.size(), 3u);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < db.size(); ++r) {
+    const std::vector<CellId>& cells = db.records()[r].fingerprint.cells;
+    ASSERT_EQ(qv.record[r].length, cells.size());
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      EXPECT_EQ(qv.ranks[qv.record[r].offset + j], qv.rank_of(cells[j]));
+      EXPECT_GE(qv.rank_of(cells[j]), 0);
+    }
+    total += cells.size();
+  }
+  EXPECT_EQ(qv.ranks.size(), total);
+  EXPECT_EQ(qv.rank_of(999999), simd::kUnknownRank);
+  // Injective: distinct cells → distinct ranks.
+  EXPECT_NE(qv.rank_of(100), qv.rank_of(200));
+  EXPECT_NE(qv.rank_of(200), qv.rank_of(400));
+}
+
+TEST(QuantizedView, RanksAreGroupedByLengthClass) {
+  StopDatabase db;
+  db.add(1, Fingerprint{{1, 2, 3, 4, 5}});
+  db.add(2, Fingerprint{{6, 7}});
+  db.add(3, Fingerprint{{8, 9, 10, 11, 12}});
+  db.add(4, Fingerprint{{13, 14}});
+  const StopDatabase::QuantizedView& qv = db.quantized();
+  // Offsets ordered by (length, record): both 2-cell records precede both
+  // 5-cell records in the rank blob.
+  EXPECT_LT(qv.record[1].offset, qv.record[3].offset);
+  EXPECT_LT(qv.record[3].offset, qv.record[0].offset);
+  EXPECT_LT(qv.record[0].offset, qv.record[2].offset);
+}
+
+TEST(QuantizedView, MutationInvalidatesAndRebuilds) {
+  StopDatabase db;
+  db.add(1, Fingerprint{{1, 2, 3}});
+  const std::size_t before = db.quantized().ranks.size();
+  EXPECT_EQ(before, 3u);
+  db.add(1, Fingerprint{{4, 5, 6, 7}});  // replace
+  const StopDatabase::QuantizedView& qv = db.quantized();
+  EXPECT_EQ(qv.ranks.size(), 4u);
+  EXPECT_EQ(qv.record[0].length, 4u);
+  EXPECT_EQ(qv.rank_of(7), qv.ranks[qv.record[0].offset + 3]);
+  // Copies rebuild their own cache lazily.
+  const StopDatabase copy = db;
+  EXPECT_EQ(copy.quantized().ranks.size(), 4u);
+}
+
+// ----------------------------------------- matcher bit-identity sweep
+
+struct MatcherSet {
+  // The four acceleration corners; [0] (index off, simd off) is the
+  // reference brute-force scan.
+  std::vector<StopMatcher> matchers;
+  explicit MatcherSet(const StopDatabase& db, StopMatcherConfig base = {}) {
+    for (const bool use_index : {false, true}) {
+      for (const bool use_simd : {false, true}) {
+        StopMatcherConfig cfg = base;
+        cfg.accel.use_index = use_index;
+        cfg.accel.use_simd = use_simd;
+        matchers.emplace_back(db, cfg);
+      }
+    }
+  }
+};
+
+void expect_identical_results(const MatcherSet& set, const Fingerprint& sample) {
+  const auto ref = set.matchers[0].match(sample);
+  const auto ref_all = set.matchers[0].match_all(sample);
+  for (std::size_t i = 1; i < set.matchers.size(); ++i) {
+    const StopMatcher& m = set.matchers[i];
+    const auto got = m.match(sample);
+    ASSERT_EQ(got.has_value(), ref.has_value())
+        << "config " << i << " sample " << to_string(sample);
+    if (ref) {
+      EXPECT_EQ(got->stop, ref->stop) << "config " << i;
+      EXPECT_EQ(got->score, ref->score) << "config " << i;  // bit-identical
+      EXPECT_EQ(got->common_cells, ref->common_cells) << "config " << i;
+    }
+    const auto got_all = m.match_all(sample);
+    ASSERT_EQ(got_all.size(), ref_all.size()) << "config " << i;
+    for (std::size_t j = 0; j < got_all.size(); ++j) {
+      EXPECT_EQ(got_all[j].stop, ref_all[j].stop) << "config " << i;
+      EXPECT_EQ(got_all[j].score, ref_all[j].score) << "config " << i;
+      EXPECT_EQ(got_all[j].common_cells, ref_all[j].common_cells)
+          << "config " << i;
+    }
+  }
+}
+
+class SimdMatcherEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimdMatcherEquivalence, AllAccelerationCornersMatchBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n_records = rng.uniform_int(1, 60);
+    const int pool = rng.uniform_int(4, 10 + 4 * n_records);
+    StopDatabase db;
+    for (int r = 0; r < n_records; ++r) {
+      // Mixed length classes incl. degenerate 1-cell prints; small pools
+      // force duplicate cell IDs within and across fingerprints.
+      db.add(static_cast<StopId>(r + 1),
+             random_fingerprint(rng, rng.uniform_int(1, 9), pool));
+    }
+    const MatcherSet set(db);
+    // The batch path engages exactly when a vector kernel is live; either
+    // way the identity sweep below must hold.
+    EXPECT_EQ(set.matchers[3].simd_active(),
+              simd::active_kernel() != simd::Kernel::kScalar);
+    for (int q = 0; q < 30; ++q) {
+      expect_identical_results(
+          set, random_fingerprint(rng, rng.uniform_int(0, 8), pool));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdMatcherEquivalence,
+                         ::testing::Values(31, 32, 33));
+
+TEST(SimdMatcher, TieBreaksIdenticallyAcrossCorners) {
+  // Three records with the same score against the probe; two share the same
+  // common-cell count, so the winner is decided by (score, common, db
+  // order) exactly as the scalar scan resolves it.
+  StopDatabase db;
+  db.add(1, Fingerprint{{1, 2, 9}});   // score 2, common 2
+  db.add(2, Fingerprint{{1, 2, 8}});   // score 2, common 2 (db-order loser)
+  db.add(3, Fingerprint{{1, 2}});      // score 2, common 2, shorter
+  const Fingerprint probe{{1, 2, 7}};
+  const MatcherSet set(db);
+  const auto ref = set.matchers[0].match(probe);
+  ASSERT_TRUE(ref.has_value());
+  expect_identical_results(set, probe);
+}
+
+TEST(SimdMatcher, NonQuantizableConfigFallsBackScalar) {
+  StopDatabase db;
+  db.add(1, Fingerprint{{1, 2, 3, 4}});
+  db.add(2, Fingerprint{{3, 4, 5, 6}});
+  StopMatcherConfig cfg;
+  cfg.matching.mismatch_penalty = 0.25;  // not a deci multiple
+  const MatcherSet set(db, cfg);
+  EXPECT_FALSE(set.matchers[3].simd_active());
+  Rng rng(7);
+  for (int q = 0; q < 20; ++q) {
+    expect_identical_results(set, random_fingerprint(rng, rng.uniform_int(0, 7), 8));
+  }
+}
+
+TEST(SimdMatcher, OverflowLengthClassFallsBackPerClass) {
+  // match_score 3276.7 quantizes to 32767 deci-units: usable for 1-cell
+  // prints, overflow for anything longer — the SIMD path must score the
+  // long class through scalar similarity() and still agree bitwise.
+  StopDatabase db;
+  db.add(1, Fingerprint{{1}});
+  db.add(2, Fingerprint{{1, 2}});
+  db.add(3, Fingerprint{{2, 3}});
+  StopMatcherConfig cfg;
+  cfg.matching.match_score = 3276.7;
+  cfg.accept_threshold = 3276.7;
+  const MatcherSet set(db, cfg);
+  EXPECT_EQ(set.matchers[3].simd_active(),
+            simd::active_kernel() != simd::Kernel::kScalar);
+  Rng rng(8);
+  for (int q = 0; q < 20; ++q) {
+    expect_identical_results(set, random_fingerprint(rng, rng.uniform_int(0, 4), 5));
+  }
+}
+
+TEST(SimdMatcher, EmptyDatabaseAndEmptySample) {
+  StopDatabase empty_db;
+  const MatcherSet empty_set(empty_db);
+  expect_identical_results(empty_set, Fingerprint{{1, 2, 3}});
+  StopDatabase db;
+  db.add(1, Fingerprint{{1, 2, 3}});
+  const MatcherSet set(db);
+  expect_identical_results(set, Fingerprint{});
+}
+
+// ------------------------------------------------------- stats accounting
+
+TEST(SimdMatcher, StatsInvariantsHoldOnSimdPath) {
+  Rng rng(77);
+  StopDatabase db;
+  for (int r = 0; r < 40; ++r) {
+    db.add(static_cast<StopId>(r + 1), random_fingerprint(rng, 7, 30));
+  }
+  // Index + simd on; the scalar path has its own incumbent skip, so the
+  // invariants (and a firing prescreen) hold whether or not a vector
+  // kernel is live on this host.
+  const StopMatcher matcher(db);
+  std::size_t skipped_total = 0;
+  for (int q = 0; q < 60; ++q) {
+    MatchStats stats;
+    (void)matcher.match(random_fingerprint(rng, 7, 30), &stats);
+    EXPECT_EQ(stats.records_considered, db.size());
+    EXPECT_LE(stats.gamma_candidates, stats.records_considered);
+    EXPECT_LE(stats.records_accepted + stats.records_bound_skipped,
+              stats.gamma_candidates);
+    EXPECT_EQ(stats.records_pruned,
+              stats.records_considered - stats.records_accepted);
+    skipped_total += stats.records_bound_skipped;
+    // match_all never skips on the incumbent bound.
+    MatchStats all_stats;
+    (void)matcher.match_all(random_fingerprint(rng, 7, 30), &all_stats);
+    EXPECT_EQ(all_stats.records_bound_skipped, 0u);
+    EXPECT_EQ(all_stats.records_accepted, all_stats.gamma_candidates);
+  }
+  // The prescreen must actually fire on a crowded database.
+  EXPECT_GT(skipped_total, 0u);
+}
+
+TEST(SimdMatcher, BoundSkippedFlowsIntoMetricsRegistry) {
+  Rng rng(78);
+  StopDatabase db;
+  for (int r = 0; r < 40; ++r) {
+    db.add(static_cast<StopId>(r + 1), random_fingerprint(rng, 7, 30));
+  }
+  StopMatcher matcher(db);
+  MetricsRegistry registry;
+  matcher.bind_metrics(&registry);
+  MatchStats total;
+  for (int q = 0; q < 60; ++q) {
+    MatchStats stats;
+    (void)matcher.match(random_fingerprint(rng, 7, 30), &stats);
+    total.merge(stats);
+  }
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("matcher.calls"), 60u);
+  EXPECT_EQ(snap.counters.at("matcher.records_bound_skipped"),
+            total.records_bound_skipped);
+  EXPECT_EQ(snap.counters.at("matcher.records_accepted"),
+            total.records_accepted);
+}
+
+// ------------------------------------------------- scratch retention cap
+
+TEST(SimdMatcher, CandidateScratchShrinksAfterHugeDatabase) {
+  // A single call against a >2^16-record database grows the thread-local
+  // candidate scratch; the next call against a small database must give the
+  // memory back (DESIGN.md §12 retention cap).
+  constexpr std::size_t kHuge = (std::size_t{1} << 16) + 500;
+  StopDatabase huge;
+  for (std::size_t r = 0; r < kHuge; ++r) {
+    huge.add(static_cast<StopId>(r + 1),
+             Fingerprint{{static_cast<CellId>(1 + (r % 97)),
+                          static_cast<CellId>(200 + (r % 89))}});
+  }
+  const StopMatcher big_matcher(huge);
+  (void)big_matcher.match(Fingerprint{{5, 205, 7}});
+  EXPECT_GE(StopMatcher::thread_scratch_capacity(), kHuge);
+
+  StopDatabase small;
+  small.add(1, Fingerprint{{5, 205, 7}});
+  const StopMatcher small_matcher(small);
+  const auto hit = small_matcher.match(Fingerprint{{5, 205, 7}});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->stop, 1);
+  EXPECT_LE(StopMatcher::thread_scratch_capacity(),
+            std::size_t{1} << 16);
+}
+
+}  // namespace
+}  // namespace bussense
