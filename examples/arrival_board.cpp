@@ -1,15 +1,17 @@
 // arrival_board: the bus-stop departure board a rider would actually see.
 //
-// Builds the live traffic map from a morning of participatory trips, then
-// prints predicted arrival times of the next buses at a chosen stop —
-// the companion capability of the authors' MobiSys'12 system, derived here
-// from the traffic server by inverting the Eq. 3 model per segment.
+// Builds the live traffic map from a morning of participatory trips,
+// publishes it as a serving epoch (DESIGN.md §13), then answers the
+// board's ETA queries through the lock-free QueryService — exactly the
+// path a production deployment serves riders from, and bit-identical to
+// predicting against the live fusion at the publish instant.
 //
 // Run:  ./arrival_board [route-name] [stop-index] [seed]
 #include <algorithm>
 #include <iostream>
 
-#include "core/arrival_predictor.h"
+#include "core/epoch_publisher.h"
+#include "core/query_service.h"
 #include "core/server.h"
 #include "core/stop_database.h"
 #include "trafficsim/world.h"
@@ -50,7 +52,11 @@ int main(int argc, char** argv) {
   }
   server.advance_time(now);
 
-  const ArrivalPredictor predictor(server.catalog());
+  // Publish the fused state as the serving epoch the board reads from.
+  EpochPublisher publisher(server.catalog());
+  server.publish_epoch(publisher, now);
+  QueryService queries(publisher);
+
   const BusStop& here = city.stop(route->stops()[stop_index].stop);
   std::cout << "=== " << here.name << "  (route " << route_name
             << ", stop " << stop_index << ")  " << format_clock(now)
@@ -64,8 +70,7 @@ int main(int argc, char** argv) {
   for (SimTime depart = now - 45 * kMinute; depart < now + 3 * headway;
        depart += headway) {
     if (shown >= 3) break;
-    const auto predictions =
-        predictor.predict(*route, 0, depart, server.fusion(), now);
+    const auto predictions = queries.route_eta(*route, 0, depart).arrivals;
     for (const ArrivalPrediction& p : predictions) {
       if (p.stop_index != stop_index) continue;
       if (p.eta >= now) {
@@ -86,11 +91,12 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "\ndownstream journey from here (next departing bus):\n";
-  const auto onward =
-      predictor.predict(*route, stop_index, now + 60.0, server.fusion(), now);
-  for (std::size_t k = 0; k < onward.size() && k < 6; ++k) {
-    std::cout << "  " << city.stop(onward[k].stop).name << "  "
-              << format_clock(onward[k].eta) << "\n";
+  const RouteEtaResult onward = queries.route_eta(*route, stop_index, now + 60.0);
+  for (std::size_t k = 0; k < onward.arrivals.size() && k < 6; ++k) {
+    std::cout << "  " << city.stop(onward.arrivals[k].stop).name << "  "
+              << format_clock(onward.arrivals[k].eta) << "\n";
   }
+  std::cout << "\n(served from epoch " << onward.epoch_id << " @ "
+            << format_clock(onward.epoch_time) << ")\n";
   return 0;
 }

@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <iostream>
 
+#include "core/epoch_publisher.h"
 #include "core/google_indicator.h"
 #include "core/ingest_service.h"
+#include "core/query_service.h"
 #include "core/svg_map.h"
 #include "core/server.h"
 #include "core/stop_database.h"
@@ -37,6 +39,13 @@ int main(int argc, char** argv) {
   IngestService service(city, std::move(db), {}, svc);
   TrafficIngestor& server = service;
 
+  // The maps below are read through the serving tier: each display hour
+  // publishes an immutable epoch and the queries pin it lock-free
+  // (DESIGN.md §13) — the same path a dashboard fleet would hit, and
+  // bit-identical to calling server.snapshot() directly.
+  EpochPublisher publisher(server.catalog());
+  QueryService queries(publisher);
+
   std::cout << "bus-route coverage of the road network: "
             << 100.0 * city.coverage_ratio() << "%\n";
 
@@ -60,12 +69,14 @@ int main(int argc, char** argv) {
              end > at_clock(day, snapshot_hours[next_snap], 0)) {
         const SimTime now = at_clock(day, snapshot_hours[next_snap], 0);
         server.advance_time(now);
-        const TrafficMap map = server.snapshot(now, 2.0 * kHour);
-        std::cout << "\n--- " << format_clock(now) << " traffic map ("
-                  << map.segments().size() << " live segments, mean "
-                  << map.mean_speed_kmh() << " km/h, coverage "
-                  << 100.0 * map.coverage_ratio(server.catalog()) << "%)\n";
-        std::cout << map.render_ascii(server.catalog(), 100, 24);
+        server.publish_epoch(publisher, now, 2.0 * kHour);
+        const EpochPublisher::Pin epoch = queries.pin();
+        std::cout << "\n--- " << format_clock(now) << " traffic map (epoch "
+                  << epoch->id() << ": " << epoch->live_segments()
+                  << " live segments, mean " << epoch->mean_speed_kmh()
+                  << " km/h, coverage " << 100.0 * epoch->coverage_ratio()
+                  << "%)\n";
+        std::cout << epoch->map().render_ascii(server.catalog(), 100, 24);
         ++next_snap;
       }
       server.process_trip(trip.upload);
@@ -76,18 +87,39 @@ int main(int argc, char** argv) {
                "road without a live estimate\n";
   std::cout << "trips processed: " << server.trips_processed() << "\n";
 
-  // Shareable artifact: the final evening map as SVG.
+  // Shareable artifact: the final evening map as SVG, rendered from the
+  // last published epoch so the file matches what the serving tier saw.
   const SimTime final_time = at_clock(days - 1, 20, 0);
   server.advance_time(final_time);
+  server.publish_epoch(publisher, final_time, 3.0 * kHour);
+  const EpochPublisher::Pin evening = queries.pin();
   const std::string svg_path = "traffic_map.svg";
-  write_svg_map(server.snapshot(final_time, 3.0 * kHour), server.catalog(),
-                svg_path);
+  write_svg_map(evening->map(), server.catalog(), svg_path);
   std::cout << "wrote " << svg_path << "\n";
+
+  // Region query demo: how does the city-centre quadrant compare to the
+  // whole network at closing time?
+  const BoundingBox& region = city.region();
+  BoundingBox centre = region;
+  centre.min.x += 0.25 * region.width();
+  centre.min.y += 0.25 * region.height();
+  centre.max.x -= 0.25 * region.width();
+  centre.max.y -= 0.25 * region.height();
+  const RegionAggregate agg = queries.region_aggregate(centre);
+  std::cout << "city centre at " << format_clock(final_time) << ": "
+            << agg.segments_live << "/" << agg.segments_total
+            << " segments live, mean " << agg.mean_speed_kmh
+            << " km/h, coverage " << 100.0 * agg.coverage_ratio << "%\n";
 
   const MetricsSnapshot ms = server.metrics().snapshot();
   std::cout << "pipeline p99 trip latency: "
             << 1e6 * ms.histograms.at("pipeline.trip_s").percentile(0.99)
             << " us, samples matched: "
             << ms.counters.at("pipeline.samples_matched") << "\n";
+  const MetricsSnapshot qs = publisher.metrics().snapshot();
+  std::cout << "serving: " << qs.counters.at("epochs.published")
+            << " epochs published, "
+            << queries.metrics().snapshot().counters.at("queries.region")
+            << " region queries answered\n";
   return 0;
 }

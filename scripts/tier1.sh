@@ -4,6 +4,10 @@
 # the fast gate; run the benches separately with
 #   cmake -B build -S . -DBUSSENSE_BENCH_TESTS=ON && ctest --test-dir build -L bench
 #
+# Every stage is timed; on success the script ends with a per-stage
+# wall-clock summary, and on any failure it names the exact stage that
+# broke (fail-fast -- later stages do not run).
+#
 # Optional ThreadSanitizer stage: BUSSENSE_SANITIZE=ON ./scripts/tier1.sh
 # additionally builds the concurrency-sensitive suites (the concurrent
 # server and the async ingest service) under TSan in build-tsan/ and runs
@@ -26,48 +30,109 @@
 # forced-scalar-fallback tree (-DBUSSENSE_SIMD=OFF) and reruns the same
 # suites — so non-AVX2/NEON hosts stay covered by the identical property
 # surface. Off by default.
+#
+# Optional serving-tier stage: BUSSENSE_SERVING=ON ./scripts/tier1.sh
+# builds the epoch publisher / query service suite under TSan (the
+# no-torn-epoch property: 8 readers racing sustained publishes) and again
+# under ASan+UBSan with leak detection on (the 10k-epoch churn property:
+# every retired epoch reclaimed). Off by default.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
+
+CURRENT_STAGE="(startup)"
+STAGE_START=$SECONDS
+STAGE_SUMMARY=()
+
+on_fail() {
+  echo ""
+  echo "==== tier-1 FAILED at stage: ${CURRENT_STAGE} (after $((SECONDS - STAGE_START))s in stage) ====" >&2
+}
+trap on_fail ERR
+
+begin_stage() {
+  CURRENT_STAGE="$1"
+  STAGE_START=$SECONDS
+  echo "==== tier-1 stage: ${CURRENT_STAGE} ===="
+}
+
+end_stage() {
+  STAGE_SUMMARY+=("$(printf '%6ss  %s' "$((SECONDS - STAGE_START))" "${CURRENT_STAGE}")")
+}
+
+begin_stage "configure + build"
+cmake -B build -S . && cmake --build build -j
+end_stage
+
+begin_stage "ctest"
+(cd build && ctest --output-on-failure -j)
+end_stage
 
 if [[ "${BUSSENSE_SANITIZE:-}" == "ON" ]]; then
-  echo "==== tier-1 extra: ThreadSanitizer (test_concurrency, test_ingest_service) ===="
+  begin_stage "TSan concurrency (test_concurrency, test_ingest_service)"
   cmake -B build-tsan -S . -DBUSSENSE_SANITIZE=thread
   cmake --build build-tsan -j --target test_concurrency test_ingest_service
   # Run the binaries directly: a partial TSan build registers no stale
   # ctest placeholders for the targets we skipped.
   ./build-tsan/tests/test_concurrency
   ./build-tsan/tests/test_ingest_service
+  end_stage
 fi
 
 if [[ "${BUSSENSE_SHARDED:-}" == "ON" ]]; then
-  echo "==== tier-1 extra: TSan sharded ingest (test_spsc_ring, test_ingest_service) ===="
+  begin_stage "TSan sharded ingest (test_spsc_ring, test_ingest_service)"
   cmake -B build-tsan -S . -DBUSSENSE_SANITIZE=thread
   cmake --build build-tsan -j --target test_spsc_ring test_ingest_service
   ./build-tsan/tests/test_spsc_ring
   # The ingest suite carries the sharded bit-identity property tests; run
   # just those here (the full suite already runs under BUSSENSE_SANITIZE).
   ./build-tsan/tests/test_ingest_service --gtest_filter='Sharded*'
+  end_stage
 fi
 
 if [[ "${BUSSENSE_FAULTS:-}" == "ON" ]]; then
-  echo "==== tier-1 extra: ASan+UBSan (test_faults, test_golden_accuracy, test_fuzz_serialization) ===="
+  begin_stage "ASan+UBSan faults (test_faults, test_golden_accuracy, test_fuzz_serialization)"
   cmake -B build-asan -S . -DBUSSENSE_SANITIZE=address,undefined
   cmake --build build-asan -j --target test_faults test_golden_accuracy test_fuzz_serialization
   ./build-asan/tests/test_faults
   ./build-asan/tests/test_golden_accuracy
   ./build-asan/tests/test_fuzz_serialization
+  end_stage
 fi
 
 if [[ "${BUSSENSE_SIMD:-}" == "ON" ]]; then
-  echo "==== tier-1 extra: ASan+UBSan SIMD kernels (test_matching, test_matching_simd) ===="
+  begin_stage "ASan+UBSan SIMD kernels (test_matching, test_matching_simd)"
   cmake -B build-asan -S . -DBUSSENSE_SANITIZE=address,undefined
   cmake --build build-asan -j --target test_matching test_matching_simd
   ./build-asan/tests/test_matching
   ./build-asan/tests/test_matching_simd
-  echo "==== tier-1 extra: forced scalar-batch fallback (-DBUSSENSE_SIMD=OFF) ===="
+  end_stage
+  begin_stage "scalar-batch fallback (-DBUSSENSE_SIMD=OFF)"
   cmake -B build-scalar -S . -DBUSSENSE_SIMD=OFF
   cmake --build build-scalar -j --target test_matching test_matching_simd
   ./build-scalar/tests/test_matching
   ./build-scalar/tests/test_matching_simd
+  end_stage
 fi
+
+if [[ "${BUSSENSE_SERVING:-}" == "ON" ]]; then
+  begin_stage "TSan serving tier (test_query_service)"
+  cmake -B build-tsan -S . -DBUSSENSE_SANITIZE=thread
+  cmake --build build-tsan -j --target test_query_service
+  # The no-torn-epoch property races 8 pinned readers against sustained
+  # publishes + live ingest; TSan must stay silent on the whole suite.
+  ./build-tsan/tests/test_query_service
+  end_stage
+  begin_stage "ASan+UBSan serving leak check (test_query_service)"
+  cmake -B build-asan -S . -DBUSSENSE_SANITIZE=address,undefined
+  cmake --build build-asan -j --target test_query_service
+  # Leak detection proves the 10k-epoch churn reclaims every retired
+  # epoch -- the grace-period protocol, checked by the allocator.
+  ASAN_OPTIONS=detect_leaks=1 ./build-asan/tests/test_query_service
+  end_stage
+fi
+
+echo ""
+echo "==== tier-1 PASSED -- stage wall-clock summary ===="
+for line in "${STAGE_SUMMARY[@]}"; do
+  echo "  ${line}"
+done

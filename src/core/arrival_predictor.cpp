@@ -25,6 +25,14 @@ double ArrivalPredictor::segment_bus_time_s(const SpanInfo& info,
 std::vector<ArrivalPrediction> ArrivalPredictor::predict(
     const BusRoute& route, int from_index, SimTime departure,
     const SpeedFusion& fusion, SimTime now) const {
+  return predict(
+      route, from_index, departure,
+      [&fusion](const SegmentKey& key) { return fusion.query(key); }, now);
+}
+
+std::vector<ArrivalPrediction> ArrivalPredictor::predict(
+    const BusRoute& route, int from_index, SimTime departure,
+    const SpeedLookup& speeds, SimTime now) const {
   if (from_index < 0 || from_index + 1 >= static_cast<int>(route.stop_count())) {
     throw std::invalid_argument("ArrivalPredictor: bad from_index");
   }
@@ -39,7 +47,7 @@ std::vector<ArrivalPrediction> ArrivalPredictor::predict(
     const SpanInfo* info = catalog_->adjacent(key);
     if (!info) break;  // defensive: catalog covers all adjacent pairs
     ArrivalPrediction p;
-    const auto fused = fusion.query(key);
+    const auto fused = speeds(key);
     if (fused && now - fused->updated_at <= config_.max_estimate_age_s) {
       p.from_live_traffic = true;
       t += segment_bus_time_s(*info, fused->mean_kmh);

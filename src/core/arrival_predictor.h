@@ -8,6 +8,8 @@
 // running time — plus the expected dwell at each served stop.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/fusion.h"
@@ -40,12 +42,26 @@ class ArrivalPredictor {
   /// automobile speed (inverts Eq. 3), excluding dwell.
   double segment_bus_time_s(const SpanInfo& info, double att_speed_kmh) const;
 
+  /// Per-segment speed source: the latest fused estimate for a key, or
+  /// nullopt. Only mean_kmh and updated_at are read, so any snapshot that
+  /// preserves those two fields (e.g. a serving epoch, DESIGN.md §13)
+  /// predicts bit-identically to the live fusion it was built from.
+  using SpeedLookup =
+      std::function<std::optional<FusedSpeed>(const SegmentKey&)>;
+
   /// Predicts arrivals at every stop after `from_index`, for a bus that
   /// departed that stop at `departure`. Uses `fusion` speeds no older than
   /// max_estimate_age_s relative to `now`; free flow otherwise.
   std::vector<ArrivalPrediction> predict(const BusRoute& route, int from_index,
                                          SimTime departure,
                                          const SpeedFusion& fusion,
+                                         SimTime now) const;
+
+  /// Same prediction against an arbitrary speed source (the fusion overload
+  /// delegates here, so both paths are the same arithmetic).
+  std::vector<ArrivalPrediction> predict(const BusRoute& route, int from_index,
+                                         SimTime departure,
+                                         const SpeedLookup& speeds,
                                          SimTime now) const;
 
   const ArrivalPredictorConfig& config() const { return config_; }

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/epoch_publisher.h"
+
 namespace bussense {
 
 namespace {
@@ -134,6 +136,14 @@ TrafficMap ConcurrentTrafficServer::snapshot(SimTime now,
   // yet; they would not appear in the snapshot even if folded, so no drain
   // is needed here.
   return TrafficMap::snapshot(fusion_, inner_.catalog(), now, max_age_s);
+}
+
+std::uint64_t ConcurrentTrafficServer::publish_epoch(EpochPublisher& publisher,
+                                                     SimTime now,
+                                                     double max_age_s) const {
+  // Same visibility rule as snapshot(): pending batches hold only
+  // not-yet-closed periods, so no drain is needed.
+  return publisher.publish_from(fusion_, now, max_age_s);
 }
 
 }  // namespace bussense

@@ -65,6 +65,11 @@ class ConcurrentTrafficServer : public TrafficIngestor {
   /// period a previous advance_time() closed, exactly as the serial server.
   TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const override;
 
+  /// Publishes the striped fused state as a serving epoch (thread-safe;
+  /// same visibility as snapshot()).
+  std::uint64_t publish_epoch(EpochPublisher& publisher, SimTime now,
+                              double max_age_s = 3600.0) const override;
+
   const MetricsRegistry& metrics() const override { return inner_.metrics(); }
   /// Shared registry (thread-safe instruments; see TrafficServer).
   MetricsRegistry& metrics_registry() { return inner_.metrics_registry(); }

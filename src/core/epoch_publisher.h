@@ -1,0 +1,347 @@
+// Epoch-based (RCU-style) snapshot publisher: the write side of the
+// serving tier (DESIGN.md §13).
+//
+// Ingest mutates fused state behind stripe locks; serving millions of
+// queries cannot afford to touch those locks. The publisher periodically
+// builds an immutable, query-optimized EpochSnapshot from the fused map —
+// dense segment-indexed speeds, O(1) key lookup, precomputed level /
+// coverage / mean-speed aggregates and a uniform spatial grid for region
+// queries — and swaps it in behind one atomic pointer. Readers never
+// block and never take a lock:
+//
+//   publish   build snapshot → current_.exchange(new) → retire old →
+//             reclaim (free every retired epoch no reader still pins);
+//   pin       read current_, advertise it in this thread's hazard slot,
+//             re-validate current_ — the classic hazard-pointer handshake.
+//             On success the epoch cannot be freed until the slot clears;
+//             on failure (a publish won the race) retry with the newer
+//             pointer. The reader never dereferences an unvalidated epoch;
+//   unpin     clear the hazard slot (release). A retired epoch is freed
+//             only after the publisher observes every slot not holding it,
+//             so readers always see a fully constructed, never-torn,
+//             never-recycled snapshot (property-tested under TSan; the
+//             churn suite is ASan leak-verified).
+//
+// The reader registry is a fixed array of cache-line-padded atomic slots,
+// handed out one per (thread, publisher) on first pin. Threads beyond
+// max_readers fall back to a mutex-guarded overflow multiset — correctness
+// unchanged, just not lock-free (counted in epochs.overflow_readers).
+//
+// Pins are re-entrant per thread (a nested pin returns the already-pinned
+// epoch) and must be released on the thread that acquired them. All pins
+// must be released before the publisher is destroyed; the destructor spins
+// until the registry is empty.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geo.h"
+#include "core/fusion.h"
+#include "core/segment_catalog.h"
+#include "core/traffic_map.h"
+#include "obs/metrics.h"
+
+namespace bussense {
+
+struct EpochPublisherConfig {
+  /// Staleness cutoff handed to the snapshot build (strict `>` boundary,
+  /// see TrafficMap::snapshot).
+  double max_age_s = 3600.0;
+  /// Lock-free reader slots; additional reader threads fall back to the
+  /// mutex-guarded overflow path.
+  std::size_t max_readers = 64;
+  /// Spatial grid for region queries, over the city bounding box.
+  int grid_cols = 32;
+  int grid_rows = 16;
+  struct Observability {
+    bool enabled = true;
+  };
+  Observability obs;
+
+  /// Throws std::invalid_argument on nonsense (no readers, empty grid,
+  /// non-positive staleness window).
+  void validate() const;
+};
+
+/// Aggregate answer for a bounding-box region query. Covered/total lengths
+/// count catalogued adjacent segments whose midpoint lies in the box.
+struct RegionAggregate {
+  std::uint64_t epoch_id = 0;
+  SimTime epoch_time = 0.0;
+  int segments_total = 0;  ///< catalogued segments in the box
+  int segments_live = 0;   ///< of those, carrying a live estimate
+  double mean_speed_kmh = 0.0;  ///< length-weighted over live segments
+  double live_length_m = 0.0;
+  double total_length_m = 0.0;
+  double coverage_ratio = 0.0;  ///< live_length / total_length (0 if empty)
+  std::array<int, 5> level_histogram{};  ///< live segments per SpeedLevel
+};
+
+/// Static geometry of every catalogued adjacent segment, built once per
+/// publisher: midpoints, lengths, and a row-major uniform grid binning
+/// segments by midpoint (CSR). Epochs reference it; only the thin
+/// live-segment overlay is rebuilt per publish.
+class SegmentGeometry {
+ public:
+  SegmentGeometry(const SegmentCatalog& catalog, int cols, int rows);
+
+  struct Entry {
+    SegmentKey key;
+    Point midpoint;
+    double length_m = 0.0;
+  };
+
+  std::size_t size() const { return entries_.size(); }
+  const Entry& entry(std::uint32_t ordinal) const { return entries_[ordinal]; }
+  std::optional<std::uint32_t> ordinal(const SegmentKey& key) const;
+  const SegmentCatalog& catalog() const { return *catalog_; }
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  /// Grid column/row containing a coordinate (clamped to the city box).
+  int col_of(double x) const;
+  int row_of(double y) const;
+  /// Grid cell containing `p` (clamped to the city box).
+  std::size_t cell_of(Point p) const;
+  /// Ordinals binned into one cell, ascending.
+  const std::uint32_t* cell_begin(std::size_t cell) const;
+  const std::uint32_t* cell_end(std::size_t cell) const;
+  const BoundingBox& region() const { return region_; }
+
+ private:
+  const SegmentCatalog* catalog_;
+  std::vector<Entry> entries_;  ///< catalog.adjacent_keys() order
+  std::unordered_map<SegmentKey, std::uint32_t, SegmentKeyHash> ordinal_;
+  BoundingBox region_;
+  int cols_;
+  int rows_;
+  std::vector<std::uint32_t> cell_start_;  ///< CSR offsets, row-major cells
+  std::vector<std::uint32_t> cell_items_;  ///< ordinals, ascending per cell
+};
+
+/// One immutable published epoch: the TrafficMap it wraps (bit-identical
+/// to TrafficMap::snapshot at the publish instant — property-tested), an
+/// O(1) key index, the live-segment overlay on the publisher's geometry,
+/// and whole-map aggregates precomputed at build time. Never mutated after
+/// publish; safe to read from any number of threads without locks.
+class EpochSnapshot {
+ public:
+  static constexpr std::uint32_t kNotLive = 0xffffffffu;
+
+  std::uint64_t id() const { return id_; }
+  SimTime time() const { return map_.time(); }
+  double max_age_s() const { return max_age_s_; }
+
+  const TrafficMap& map() const { return map_; }
+  std::size_t live_segments() const { return map_.segments().size(); }
+
+  /// O(1) lookup; nullptr when the segment has no live estimate.
+  const MapSegment* segment(const SegmentKey& key) const;
+
+  /// The segment's estimate as a FusedSpeed view (mean_kmh, updated_at and
+  /// observation_count preserved; variance is not carried into epochs and
+  /// reads 0). Enough for ArrivalPredictor — which reads only mean and
+  /// age — to predict bit-identically to the source fusion.
+  std::optional<FusedSpeed> fused(const SegmentKey& key) const;
+
+  /// Region aggregate over the grid; deterministic per epoch (fixed
+  /// cell-then-ordinal fold order).
+  RegionAggregate region(const BoundingBox& box) const;
+
+  // Whole-map aggregates, precomputed at publish.
+  double coverage_ratio() const { return coverage_ratio_; }
+  double mean_speed_kmh() const { return mean_speed_kmh_; }
+  const std::map<SpeedLevel, int>& level_histogram() const {
+    return level_histogram_;
+  }
+
+ private:
+  friend class EpochPublisher;
+  EpochSnapshot(TrafficMap map, const SegmentGeometry& geometry,
+                double max_age_s);
+
+  std::uint64_t id_ = 0;  ///< assigned by the publisher before the swap
+  double max_age_s_ = 0.0;
+  TrafficMap map_;
+  const SegmentGeometry* geometry_;
+  std::unordered_map<SegmentKey, std::uint32_t, SegmentKeyHash> index_;
+  std::vector<std::uint32_t> live_of_ordinal_;  ///< geometry → map index
+  std::map<SpeedLevel, int> level_histogram_;
+  double coverage_ratio_ = 0.0;
+  double mean_speed_kmh_ = 0.0;
+};
+
+class EpochPublisher {
+ public:
+  /// RAII pinned epoch. Falsy when nothing has been published yet. Must be
+  /// released on the thread that acquired it; re-entrant pins on the same
+  /// thread return the same epoch.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept : pub_(other.pub_), snap_(other.snap_) {
+      other.pub_ = nullptr;
+      other.snap_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        release();
+        pub_ = other.pub_;
+        snap_ = other.snap_;
+        other.pub_ = nullptr;
+        other.snap_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { release(); }
+
+    explicit operator bool() const { return snap_ != nullptr; }
+    const EpochSnapshot& operator*() const { return *snap_; }
+    const EpochSnapshot* operator->() const { return snap_; }
+    const EpochSnapshot* get() const { return snap_; }
+
+   private:
+    friend class EpochPublisher;
+    Pin(const EpochPublisher* pub, const EpochSnapshot* snap)
+        : pub_(pub), snap_(snap) {}
+    void release();
+
+    const EpochPublisher* pub_ = nullptr;
+    const EpochSnapshot* snap_ = nullptr;
+  };
+
+  explicit EpochPublisher(const SegmentCatalog& catalog,
+                          EpochPublisherConfig config = {});
+  /// Stops the ticker, waits for every pin to be released, frees all
+  /// epochs.
+  ~EpochPublisher();
+
+  EpochPublisher(const EpochPublisher&) = delete;
+  EpochPublisher& operator=(const EpochPublisher&) = delete;
+
+  /// Publishes a prebuilt map as the next epoch; returns its id (ids start
+  /// at 1 and increase by 1 per publish). Publishes are serialized
+  /// internally and may come from any thread.
+  std::uint64_t publish_map(TrafficMap map);
+
+  /// Builds the snapshot by visitation (no intermediate fused-map copy;
+  /// TrafficMap::snapshot_visiting) and publishes it. The 2-arg forms use
+  /// config().max_age_s.
+  std::uint64_t publish_from(const SpeedFusion& fusion, SimTime now);
+  std::uint64_t publish_from(const SpeedFusion& fusion, SimTime now,
+                             double max_age_s);
+  std::uint64_t publish_from(const StripedSpeedFusion& fusion, SimTime now);
+  std::uint64_t publish_from(const StripedSpeedFusion& fusion, SimTime now,
+                             double max_age_s);
+
+  /// Periodic publishing: calls tick(*this) immediately, then every
+  /// `period_s` (wall clock) until stop(). The tick callback typically
+  /// calls some TrafficIngestor::publish_epoch.
+  void start(std::function<void(EpochPublisher&)> tick, double period_s);
+  /// Stops and joins the ticker; idempotent (also run by the destructor).
+  void stop();
+
+  /// Lock-free on the registered-reader path (a handful of atomics); the
+  /// mutex-guarded overflow path engages only beyond max_readers threads.
+  Pin pin() const;
+
+  // Lifecycle accounting (exact under quiescence; monotone counters).
+  std::uint64_t epochs_published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t epochs_retired() const {  ///< retired *and freed*
+    return retired_freed_.load(std::memory_order_relaxed);
+  }
+  /// Epochs currently allocated: the live one plus retired-but-still-
+  /// pinned ones awaiting reclamation.
+  std::size_t epochs_live() const;
+  /// Occupied reader slots (registry scan + overflow; approximate while
+  /// readers are in flight).
+  std::size_t pinned_readers() const;
+
+  /// Frees every retired epoch no reader pins; runs automatically after
+  /// each publish, public so tests and quiescent owners can force it.
+  /// Returns how many epochs were freed.
+  std::size_t reclaim();
+
+  const SegmentCatalog& catalog() const { return geometry_.catalog(); }
+  const SegmentGeometry& geometry() const { return geometry_; }
+  const EpochPublisherConfig& config() const { return config_; }
+
+  /// Serving-tier instruments: epochs.published / epochs.retired counters,
+  /// epochs.pinned gauge (sampled at reclaim), epochs.overflow_readers,
+  /// publish.build_s histogram. Empty when observability is disabled.
+  const MetricsRegistry& metrics() const { return *metrics_; }
+  MetricsRegistry& metrics_registry() { return *metrics_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<const EpochSnapshot*> hazard{nullptr};
+  };
+  struct LocalPin {  // per (thread, publisher) pin state
+    std::size_t slot = SIZE_MAX;
+    bool overflow = false;
+    int depth = 0;
+    const EpochSnapshot* snap = nullptr;
+  };
+
+  LocalPin& local_pin() const;
+  void unpin() const;
+  std::uint64_t publish_impl(TrafficMap map, double start_s, double max_age_s);
+  std::size_t reclaim_locked();
+  std::size_t count_pinned_locked(
+      std::vector<const EpochSnapshot*>* hazards) const;
+
+  SegmentGeometry geometry_;
+  EpochPublisherConfig config_;
+  const std::uint64_t publisher_id_;  ///< key for thread-local pin lookup
+
+  // Publish/retire/reclaim state, serialized by publish_mutex_.
+  mutable std::mutex publish_mutex_;
+  std::atomic<const EpochSnapshot*> current_{nullptr};
+  std::vector<std::unique_ptr<EpochSnapshot>> owned_;
+  std::vector<const EpochSnapshot*> retired_;
+  std::uint64_t next_id_ = 1;
+
+  // Reader registry.
+  mutable std::vector<Slot> slots_;
+  mutable std::atomic<std::size_t> next_slot_{0};
+  mutable std::mutex overflow_mutex_;
+  mutable std::multiset<const EpochSnapshot*> overflow_pins_;
+
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> retired_freed_{0};
+
+  // Ticker.
+  std::mutex ticker_mutex_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+  std::thread ticker_;
+
+  std::unique_ptr<MetricsRegistry> metrics_;
+  struct Instruments {
+    Counter* published = nullptr;
+    Counter* retired = nullptr;
+    Counter* overflow_readers = nullptr;
+    Gauge* pinned = nullptr;
+    Gauge* live = nullptr;
+    BucketHistogram* build_s = nullptr;
+  };
+  Instruments inst_;
+};
+
+}  // namespace bussense

@@ -69,6 +69,16 @@ std::vector<std::pair<SegmentKey, FusedSpeed>> SpeedFusion::all() const {
   return out;
 }
 
+void SpeedFusion::visit_all(
+    const std::function<void(const SegmentKey&, const FusedSpeed&)>& fn) const {
+  // Same traversal as all(): visitation order and the copying overload's
+  // vector order are identical, so consumers that fold in order (e.g. the
+  // float sums in TrafficMap aggregates) are bit-identical either way.
+  for (const auto& [key, state] : states_) {
+    if (state.fused) fn(key, *state.fused);
+  }
+}
+
 // ----------------------------------------------------- StripedSpeedFusion
 
 StripedSpeedFusion::StripedSpeedFusion(FusionConfig config,
@@ -127,6 +137,16 @@ std::vector<std::pair<SegmentKey, FusedSpeed>> StripedSpeedFusion::all() const {
     out.insert(out.end(), part.begin(), part.end());
   }
   return out;
+}
+
+void StripedSpeedFusion::visit_all(
+    const std::function<void(const SegmentKey&, const FusedSpeed&)>& fn) const {
+  // Stripe-by-stripe in index order — the exact concatenation order of
+  // all(), without materializing the per-stripe vectors.
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe->mutex);
+    stripe->fusion.visit_all(fn);
+  }
 }
 
 }  // namespace bussense

@@ -13,6 +13,7 @@
 // the floor is our documented stabilisation).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -66,6 +67,13 @@ class SpeedFusion {
   /// All segments with a fused estimate.
   std::vector<std::pair<SegmentKey, FusedSpeed>> all() const;
 
+  /// Visits every fused estimate in place, in exactly the order all()
+  /// would list them — callers that only need one pass (epoch builds,
+  /// exports) skip the intermediate vector copy. The callback must not
+  /// re-enter this fusion.
+  void visit_all(
+      const std::function<void(const SegmentKey&, const FusedSpeed&)>& fn) const;
+
   const FusionConfig& config() const { return config_; }
 
  private:
@@ -105,6 +113,12 @@ class StripedSpeedFusion {
 
   std::optional<FusedSpeed> query(const SegmentKey& segment) const;
   std::vector<std::pair<SegmentKey, FusedSpeed>> all() const;
+
+  /// Visits every fused estimate stripe by stripe, in exactly the order
+  /// all() would list them (thread-safe; each stripe lock is held for its
+  /// own pass only). The callback must not touch this fusion.
+  void visit_all(
+      const std::function<void(const SegmentKey&, const FusedSpeed&)>& fn) const;
 
   const FusionConfig& config() const { return config_; }
   std::size_t stripe_count() const { return stripes_.size(); }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "core/epoch_publisher.h"
 
 namespace bussense {
 
@@ -195,6 +196,12 @@ void IngestService::shutdown() {
 
 TrafficMap IngestService::snapshot(SimTime now, double max_age_s) const {
   return backend_.snapshot(now, max_age_s);
+}
+
+std::uint64_t IngestService::publish_epoch(EpochPublisher& publisher,
+                                           SimTime now,
+                                           double max_age_s) const {
+  return backend_.publish_epoch(publisher, now, max_age_s);
 }
 
 std::size_t IngestService::queue_depth() const {
@@ -504,6 +511,12 @@ void ShardedIngestService::shutdown() {
 
 TrafficMap ShardedIngestService::snapshot(SimTime now, double max_age_s) const {
   return backend_.snapshot(now, max_age_s);
+}
+
+std::uint64_t ShardedIngestService::publish_epoch(EpochPublisher& publisher,
+                                                  SimTime now,
+                                                  double max_age_s) const {
+  return backend_.publish_epoch(publisher, now, max_age_s);
 }
 
 MetricsSnapshot ShardedIngestService::shard_metrics() const {

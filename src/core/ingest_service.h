@@ -107,6 +107,8 @@ class IngestService final : public TrafficIngestor {
   std::size_t process_queued(std::size_t max_items);
 
   TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const override;
+  std::uint64_t publish_epoch(EpochPublisher& publisher, SimTime now,
+                              double max_age_s = 3600.0) const override;
   const MetricsRegistry& metrics() const override { return backend_.metrics(); }
   const SegmentCatalog& catalog() const override { return backend_.catalog(); }
   std::uint64_t trips_processed() const override {
@@ -246,6 +248,8 @@ class ShardedIngestService final : public TrafficIngestor {
   void shutdown();
 
   TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const override;
+  std::uint64_t publish_epoch(EpochPublisher& publisher, SimTime now,
+                              double max_age_s = 3600.0) const override;
   /// Pipeline-wide registry (analysis-stage instruments); the per-shard
   /// ingest.shard.* instruments live in the shard registries below.
   const MetricsRegistry& metrics() const override { return backend_.metrics(); }

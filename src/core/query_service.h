@@ -1,0 +1,111 @@
+// Lock-free serving tier: the read side of the epoch publisher
+// (DESIGN.md §13).
+//
+// Millions of queries per second cannot touch the ingest locks. Every
+// query pins the current epoch (hazard-pointer handshake, no locks on the
+// registered-reader path), answers from the immutable snapshot, and
+// unpins. Three query families:
+//
+//   segment_speed  O(1) hash lookup of one segment's fused speed + level;
+//   route_eta      downstream arrival predictions for a route, reusing
+//                  ArrivalPredictor against the epoch's speeds — bit-
+//                  identical to predicting against the live fusion at the
+//                  publish instant (the predictor reads only mean_kmh and
+//                  updated_at, both preserved by the epoch);
+//   region_aggregate  bounding-box mean speed / coverage / level histogram
+//                  via the publisher's spatial grid.
+//
+// Results are stamped with the answering epoch's id and time, so callers
+// can detect staleness and correlate across queries. The service is
+// stateless apart from cached instrument pointers: one QueryService can be
+// shared by any number of threads, or each thread can own one — metrics
+// registries merge deterministically either way.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/arrival_predictor.h"
+#include "core/epoch_publisher.h"
+#include "obs/metrics.h"
+
+namespace bussense {
+
+struct QueryServiceConfig {
+  ArrivalPredictorConfig predictor;
+  struct Observability {
+    bool enabled = true;
+  };
+  Observability obs;
+};
+
+/// Answer to a segment-speed query. `live` is false when the epoch carries
+/// no fresh estimate for the segment (or nothing has been published yet —
+/// then epoch_id is 0).
+struct SegmentSpeedResult {
+  std::uint64_t epoch_id = 0;
+  SimTime epoch_time = 0.0;
+  bool live = false;
+  double speed_kmh = 0.0;
+  SpeedLevel level = SpeedLevel::kMedium;
+  SimTime updated_at = 0.0;
+  int observation_count = 0;
+};
+
+/// Answer to a route-ETA query. Before the first publish, predictions fall
+/// back to free-flow times (epoch_id 0, `departure` as the reference now).
+struct RouteEtaResult {
+  std::uint64_t epoch_id = 0;
+  SimTime epoch_time = 0.0;
+  std::vector<ArrivalPrediction> arrivals;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(const EpochPublisher& publisher,
+                        QueryServiceConfig config = {});
+
+  /// One segment's fused speed and display level from the current epoch.
+  SegmentSpeedResult segment_speed(const SegmentKey& key) const;
+
+  /// Arrival predictions for every stop after `from_index`, departing that
+  /// stop at `departure`, against the current epoch's speeds (epoch time is
+  /// the staleness reference, exactly as a snapshot-based prediction).
+  RouteEtaResult route_eta(const BusRoute& route, int from_index,
+                           SimTime departure) const;
+
+  /// Aggregate speed/coverage over a bounding box from the current epoch.
+  RegionAggregate region_aggregate(const BoundingBox& box) const;
+
+  /// Escape hatch: hold one epoch across several lookups (e.g. a display
+  /// frame). The pin must be released on this thread.
+  EpochPublisher::Pin pin() const { return publisher_->pin(); }
+
+  const EpochPublisher& publisher() const { return *publisher_; }
+  const ArrivalPredictor& predictor() const { return predictor_; }
+  const QueryServiceConfig& config() const { return config_; }
+
+  /// Query-side instruments: queries.{segment,eta,region} counters,
+  /// queries.no_epoch, query.latency.{segment,eta,region} histograms.
+  /// Empty when observability is disabled.
+  const MetricsRegistry& metrics() const { return *metrics_; }
+  MetricsRegistry& metrics_registry() { return *metrics_; }
+
+ private:
+  const EpochPublisher* publisher_;
+  QueryServiceConfig config_;
+  ArrivalPredictor predictor_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  struct Instruments {
+    Counter* segment = nullptr;
+    Counter* eta = nullptr;
+    Counter* region = nullptr;
+    Counter* no_epoch = nullptr;
+    BucketHistogram* lat_segment = nullptr;
+    BucketHistogram* lat_eta = nullptr;
+    BucketHistogram* lat_region = nullptr;
+  };
+  Instruments inst_;
+};
+
+}  // namespace bussense

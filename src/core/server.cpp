@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/epoch_publisher.h"
+
 namespace bussense {
 
 void ServerConfig::validate() const {
@@ -184,6 +186,12 @@ TrafficServer::TripReport TrafficServer::process_trip(const TripUpload& trip) {
 
 TrafficMap TrafficServer::snapshot(SimTime now, double max_age_s) const {
   return TrafficMap::snapshot(fusion_, catalog_, now, max_age_s);
+}
+
+std::uint64_t TrafficServer::publish_epoch(EpochPublisher& publisher,
+                                           SimTime now,
+                                           double max_age_s) const {
+  return publisher.publish_from(fusion_, now, max_age_s);
 }
 
 }  // namespace bussense

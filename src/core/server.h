@@ -97,6 +97,8 @@ class TrafficServer : public TrafficIngestor {
     fusion_.flush_until(now);
   }
   TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const override;
+  std::uint64_t publish_epoch(EpochPublisher& publisher, SimTime now,
+                              double max_age_s = 3600.0) const override;
 
   /// The shared admission stage; null when ServerConfig::admission is
   /// disabled. The concurrent front end routes its uploads through this

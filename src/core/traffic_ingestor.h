@@ -39,6 +39,8 @@
 
 namespace bussense {
 
+class EpochPublisher;  // core/epoch_publisher.h (serving tier, DESIGN.md §13)
+
 /// What happened to an upload handed to process_trip().
 enum class IngestOutcome : std::uint8_t {
   kProcessed,  ///< ran the full pipeline synchronously
@@ -99,6 +101,18 @@ class TrafficIngestor {
   virtual TripReport process_trip(const TripUpload& trip) = 0;
   virtual void advance_time(SimTime now) = 0;
   virtual TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const = 0;
+
+  /// Publishes the current fused state as a serving epoch (DESIGN.md §13):
+  /// the same fused state and strict-`>` staleness boundary as
+  /// snapshot(now, max_age_s) — the published epoch's map is bit-identical
+  /// to that snapshot — built by visitation (no intermediate fused-map
+  /// copy) and swapped in behind the publisher's atomic epoch pointer.
+  /// Mirrors snapshot(): asynchronous front ends do NOT drain first; call
+  /// advance_time()/drain() beforehand for the full-ingest contract.
+  /// Returns the new epoch id.
+  virtual std::uint64_t publish_epoch(EpochPublisher& publisher, SimTime now,
+                                      double max_age_s = 3600.0) const = 0;
+
   virtual const MetricsRegistry& metrics() const = 0;
   virtual const SegmentCatalog& catalog() const = 0;
   virtual std::uint64_t trips_processed() const = 0;

@@ -24,22 +24,29 @@ std::string to_string(SpeedLevel level) {
   return "?";
 }
 
+void TrafficMap::add_fused(const SegmentKey& key, const FusedSpeed& fused,
+                           const SegmentCatalog& catalog, SimTime now,
+                           double max_age_s) {
+  // Strict `>`: an estimate exactly max_age_s old is still included.
+  if (now - fused.updated_at > max_age_s) return;
+  MapSegment seg;
+  seg.key = key;
+  seg.speed_kmh = fused.mean_kmh;
+  seg.level = classify_speed(fused.mean_kmh);
+  seg.updated_at = fused.updated_at;
+  seg.observation_count = fused.observation_count;
+  segments_.push_back(seg);
+  const SpanInfo* info = catalog.adjacent(key);
+  segment_lengths_.push_back(info ? info->length_m : 0.0);
+}
+
 TrafficMap TrafficMap::from_fused(
     const std::vector<std::pair<SegmentKey, FusedSpeed>>& fused_estimates,
     const SegmentCatalog& catalog, SimTime now, double max_age_s) {
   TrafficMap map;
   map.time_ = now;
   for (const auto& [key, fused] : fused_estimates) {
-    if (now - fused.updated_at > max_age_s) continue;
-    MapSegment seg;
-    seg.key = key;
-    seg.speed_kmh = fused.mean_kmh;
-    seg.level = classify_speed(fused.mean_kmh);
-    seg.updated_at = fused.updated_at;
-    seg.observation_count = fused.observation_count;
-    map.segments_.push_back(seg);
-    const SpanInfo* info = catalog.adjacent(key);
-    map.segment_lengths_.push_back(info ? info->length_m : 0.0);
+    map.add_fused(key, fused, catalog, now, max_age_s);
   }
   return map;
 }

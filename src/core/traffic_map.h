@@ -33,12 +33,33 @@ struct MapSegment {
 class TrafficMap {
  public:
   /// Builds a snapshot from fused estimates no older than `max_age_s`.
+  ///
+  /// Staleness boundary (pinned by tests): the cutoff is strict `>` on the
+  /// age — an estimate exactly `max_age_s` old is still included; one
+  /// epsilon older is not.
   static TrafficMap snapshot(const SpeedFusion& fusion,
                              const SegmentCatalog& catalog, SimTime now,
                              double max_age_s = 3600.0);
   static TrafficMap snapshot(const StripedSpeedFusion& fusion,
                              const SegmentCatalog& catalog, SimTime now,
                              double max_age_s = 3600.0);
+
+  /// Visitation-based build: identical to snapshot() — same per-item path,
+  /// same traversal order, bit-identical result — but the fused map is
+  /// consumed in place instead of being copied into an intermediate
+  /// vector. This is the epoch-publish entry point (DESIGN.md §13);
+  /// FusionT needs visit_all(callback) (both fusion classes provide it).
+  template <class FusionT>
+  static TrafficMap snapshot_visiting(const FusionT& fusion,
+                                      const SegmentCatalog& catalog,
+                                      SimTime now, double max_age_s = 3600.0) {
+    TrafficMap map;
+    map.time_ = now;
+    fusion.visit_all([&](const SegmentKey& key, const FusedSpeed& fused) {
+      map.add_fused(key, fused, catalog, now, max_age_s);
+    });
+    return map;
+  }
 
   const std::vector<MapSegment>& segments() const { return segments_; }
   SimTime time() const { return time_; }
@@ -61,6 +82,11 @@ class TrafficMap {
   static TrafficMap from_fused(
       const std::vector<std::pair<SegmentKey, FusedSpeed>>& fused,
       const SegmentCatalog& catalog, SimTime now, double max_age_s);
+
+  /// The one per-item path every build goes through (copying and visiting
+  /// overloads alike): strict-`>` staleness cutoff, then append.
+  void add_fused(const SegmentKey& key, const FusedSpeed& fused,
+                 const SegmentCatalog& catalog, SimTime now, double max_age_s);
 
   SimTime time_ = 0.0;
   std::vector<MapSegment> segments_;
