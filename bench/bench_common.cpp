@@ -1,6 +1,28 @@
 #include "bench_common.h"
 
+#ifndef BUSSENSE_GIT_DESCRIBE
+#define BUSSENSE_GIT_DESCRIBE "unknown"
+#endif
+#ifndef BUSSENSE_BUILD_SIMD
+#define BUSSENSE_BUILD_SIMD 0
+#endif
+#ifndef BUSSENSE_BUILD_NATIVE
+#define BUSSENSE_BUILD_NATIVE 0
+#endif
+#ifndef BUSSENSE_BUILD_SANITIZE
+#define BUSSENSE_BUILD_SANITIZE ""
+#endif
+
 namespace bussense::bench {
+
+std::string build_stanza() {
+  std::ostringstream os;
+  os << "\"build\": {\"git\": \"" << BUSSENSE_GIT_DESCRIBE << "\", "
+     << "\"simd\": " << (BUSSENSE_BUILD_SIMD ? "true" : "false") << ", "
+     << "\"native\": " << (BUSSENSE_BUILD_NATIVE ? "true" : "false") << ", "
+     << "\"sanitize\": \"" << BUSSENSE_BUILD_SANITIZE << "\"}";
+  return os.str();
+}
 
 const Testbed& testbed() {
   static const Testbed bed = [] {

@@ -38,8 +38,16 @@ inline double percentile(const std::vector<double>& sorted_values, double p) {
   return sorted_values[idx];
 }
 
+/// The build provenance stanza every report carries: git describe of the
+/// built tree plus the flags that change what the numbers mean
+/// (BUSSENSE_SIMD, sanitizer instrumentation, -march=native). Captured at
+/// configure time as compile definitions on the benchcommon library.
+std::string build_stanza();
+
 /// Minimal machine-readable record of a bench run (schema documented by use
-/// in EXPERIMENTS.md / future regression tooling).
+/// in EXPERIMENTS.md / future regression tooling). write() appends the
+/// `"build"` stanza automatically, so every emitted report records which
+/// binary produced it.
 struct JsonReport {
   std::ostringstream body;
   bool first = true;
@@ -50,6 +58,7 @@ struct JsonReport {
     body << "  " << raw;
   }
   void write(const std::string& path) {
+    field(build_stanza());
     std::ofstream os(path);
     os << "{\n" << body.str() << "\n}\n";
   }

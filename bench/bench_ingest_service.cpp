@@ -14,11 +14,16 @@
 //      fusion layer;
 //   4. observability cost — serial-server throughput with the metrics
 //      layer on vs off (the instruments are relaxed atomics; the contract
-//      is <= 5% overhead).
+//      is <= 5% overhead);
+//   5. durability cost — the WAL fsync-policy ladder (off / kNever /
+//      kInterval(256) / kEveryRecord) on the serial server; the contract
+//      is <= 10% overhead for kInterval, the recommended deployment
+//      setting.
 //
-// Emits BENCH_ingest.json with all four.
+// Emits BENCH_ingest.json with all five.
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -143,6 +148,51 @@ double serial_round(bool metrics_on) {
          std::max(seconds_since(start), 1e-9);
 }
 
+// One timed serial replay with the write-ahead trip log enabled under the
+// given fsync policy (fresh log directory per round); returns trips/s.
+double durable_round(FsyncPolicy policy) {
+  const Testbed& bed = testbed();
+  const auto& trips = bench_trips();
+  static int round_no = 0;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("bussense_bench_wal_" + std::to_string(++round_no));
+  std::filesystem::remove_all(dir);
+  ServerConfig cfg;
+  cfg.durability.enabled = true;
+  cfg.durability.directory = dir.string();
+  cfg.durability.fsync = policy;
+  TrafficServer server(bed.world.city(), bed.database, cfg);
+  server.open();
+  const auto start = std::chrono::steady_clock::now();
+  for (const AnnotatedTrip& trip : trips) server.process_trip(trip.upload);
+  const double elapsed = seconds_since(start);
+  server.close();
+  std::filesystem::remove_all(dir);
+  return static_cast<double>(trips.size()) / std::max(elapsed, 1e-9);
+}
+
+// The WAL fsync-policy ladder: best of `rounds` per policy, interleaved so
+// noise hits every rung alike. "off" is the plain server (durability
+// disabled) and the baseline the overheads are quoted against.
+struct WalLadder {
+  double off = 0.0, never = 0.0, interval = 0.0, every = 0.0;
+};
+
+WalLadder wal_policy_trips_per_s(int rounds) {
+  (void)serial_round(true);
+  (void)durable_round(FsyncPolicy::kNever);
+  WalLadder best;
+  for (int r = 0; r < rounds; ++r) {
+    best.off = std::max(best.off, serial_round(true));
+    best.never = std::max(best.never, durable_round(FsyncPolicy::kNever));
+    best.interval =
+        std::max(best.interval, durable_round(FsyncPolicy::kInterval));
+    best.every = std::max(best.every, durable_round(FsyncPolicy::kEveryRecord));
+  }
+  return best;
+}
+
 // Metrics-on vs metrics-off throughput, best of `rounds` with the two
 // configurations interleaved (and a discarded warmup) so cache warmup and
 // scheduling noise hit both sides alike.
@@ -214,6 +264,31 @@ void report() {
   json.field("\"metrics_overhead\": {\"trips_per_s_off\": " + num(off) +
              ", \"trips_per_s_on\": " + num(on) +
              ", \"overhead_fraction\": " + num(overhead) + "}");
+
+  print_banner(std::cout, "Durability: WAL fsync-policy ladder (serial)");
+  const WalLadder wal = wal_policy_trips_per_s(5);
+  const auto wal_over = [&](double tps) {
+    return wal.off > 0.0 ? (wal.off - tps) / wal.off : 0.0;
+  };
+  Table wt({"wal policy", "trips/s", "overhead vs off"});
+  std::ostringstream wrows;
+  bool wfirst = true;
+  const std::pair<const char*, double> rungs[] = {
+      {"off", wal.off},
+      {"kNever", wal.never},
+      {"kInterval(256)", wal.interval},
+      {"kEveryRecord", wal.every}};
+  for (const auto& [name, tps] : rungs) {
+    wt.add_row({name, Fmt::fixed(tps, 0),
+                Fmt::fixed(100.0 * wal_over(tps), 2) + "%"});
+    if (!wfirst) wrows << ", ";
+    wfirst = false;
+    wrows << "{\"policy\": \"" << name << "\", \"trips_per_s\": " << num(tps)
+          << ", \"overhead_fraction\": " << num(wal_over(tps)) << "}";
+  }
+  wt.print(std::cout);
+  std::cout << "contract: kInterval overhead <= 10% (recommended setting)\n";
+  json.field("\"wal_policy\": [" + wrows.str() + "]");
 
   json.write("BENCH_ingest.json");
   std::cout << "wrote BENCH_ingest.json\n";

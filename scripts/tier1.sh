@@ -31,6 +31,12 @@
 # suites — so non-AVX2/NEON hosts stay covered by the identical property
 # surface. Off by default.
 #
+# Optional durability stage: BUSSENSE_DURABILITY=ON ./scripts/tier1.sh
+# builds the WAL + checkpoint/restore suite under ASan+UBSan in build-asan/
+# and runs the binary directly — the torn-tail/bit-flip sweeps and the
+# randomized crash-recovery property hammer exactly the byte-level parsing
+# paths where the sanitizers earn their keep. Off by default.
+#
 # Optional serving-tier stage: BUSSENSE_SERVING=ON ./scripts/tier1.sh
 # builds the epoch publisher / query service suite under TSan (the
 # no-torn-epoch property: 8 readers racing sustained publishes) and again
@@ -111,6 +117,16 @@ if [[ "${BUSSENSE_SIMD:-}" == "ON" ]]; then
   cmake --build build-scalar -j --target test_matching test_matching_simd
   ./build-scalar/tests/test_matching
   ./build-scalar/tests/test_matching_simd
+  end_stage
+fi
+
+if [[ "${BUSSENSE_DURABILITY:-}" == "ON" ]]; then
+  begin_stage "ASan+UBSan durability (test_durability)"
+  cmake -B build-asan -S . -DBUSSENSE_SANITIZE=address,undefined
+  cmake --build build-asan -j --target test_durability
+  # The scan/repair paths parse attacker-shaped bytes (torn tails, bit
+  # flips, duplicated blocks); run them with memory checking on.
+  ./build-asan/tests/test_durability
   end_stage
 fi
 

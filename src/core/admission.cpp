@@ -104,8 +104,10 @@ bool AdmissionController::note_signature(std::uint64_t signature) {
 
 RejectReason AdmissionController::admit(const TripUpload& trip,
                                         TripUpload& corrected,
-                                        const TripUpload*& use) {
+                                        const TripUpload*& use,
+                                        AdmitInfo* info) {
   use = &trip;
+  if (info) *info = AdmitInfo{};
   SimTime begin = 0.0, end = 0.0;
   const RejectReason shape = check_shape(trip, &begin, &end);
   if (shape != RejectReason::kNone) {
@@ -121,9 +123,13 @@ RejectReason AdmissionController::admit(const TripUpload& trip,
   const std::lock_guard<std::mutex> lock(mutex_);
   // Dedup on the bytes as uploaded (pre-correction): a retrying phone
   // resends exactly what it sent before, skewed clock included.
-  if (config_.dedup_capacity > 0 && !note_signature(trip_signature(trip))) {
-    if (inst_.rejected_duplicate) inst_.rejected_duplicate->inc();
-    return RejectReason::kDuplicate;
+  if (config_.dedup_capacity > 0) {
+    const std::uint64_t signature = trip_signature(trip);
+    if (info) info->signature = signature;
+    if (!note_signature(signature)) {
+      if (inst_.rejected_duplicate) inst_.rejected_duplicate->inc();
+      return RejectReason::kDuplicate;
+    }
   }
 
   if (config_.max_clock_skew_s > 0.0 && have_watermark_) {
@@ -143,12 +149,56 @@ RejectReason AdmissionController::admit(const TripUpload& trip,
       corrected = trip;
       for (CellularSample& sample : corrected.samples) sample.time -= offset;
       use = &corrected;
+      if (info) info->skew_offset_s = offset;
       if (inst_.skew_corrected) inst_.skew_corrected->inc();
     }
   }
 
   if (inst_.admitted) inst_.admitted->inc();
   return RejectReason::kNone;
+}
+
+void AdmissionController::note_replayed(std::uint64_t signature,
+                                        std::int32_t participant_id,
+                                        double skew_offset_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Signature 0 marks "dedup was off" in the WAL record; a genuine zero
+  // hash (p ~ 2^-64) merely loses that one record's dedup entry on replay.
+  if (config_.dedup_capacity > 0 && signature != 0) {
+    note_signature(signature);
+  }
+  // admit() only writes the table when the (possibly re-used) offset is
+  // non-zero, so replaying recorded non-zero offsets rebuilds it exactly.
+  if (skew_offset_s != 0.0) skew_offset_s_[participant_id] = skew_offset_s;
+}
+
+AdmissionCheckpoint AdmissionController::export_state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionCheckpoint out;
+  // lru_ holds most-recent-first; export oldest-first so restore can
+  // replay the recency order with plain push_fronts.
+  out.lru_oldest_first.assign(lru_.rbegin(), lru_.rend());
+  out.skew_offsets.assign(skew_offset_s_.begin(), skew_offset_s_.end());
+  std::sort(out.skew_offsets.begin(), out.skew_offsets.end());
+  out.have_watermark = have_watermark_;
+  out.watermark = watermark_;
+  return out;
+}
+
+void AdmissionController::restore_state(const AdmissionCheckpoint& state) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  seen_.clear();
+  for (const std::uint64_t signature : state.lru_oldest_first) {
+    lru_.push_front(signature);
+    seen_.emplace(signature, lru_.begin());
+  }
+  skew_offset_s_.clear();
+  for (const auto& [participant, offset] : state.skew_offsets) {
+    skew_offset_s_[participant] = offset;
+  }
+  have_watermark_ = state.have_watermark;
+  watermark_ = state.watermark;
 }
 
 void AdmissionController::observe_time(SimTime now) {

@@ -34,6 +34,8 @@
 #include <list>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "core/traffic_ingestor.h"
@@ -81,6 +83,26 @@ struct AdmissionConfig {
   void validate() const;
 };
 
+/// Facts the durability layer needs about an admitted upload: what the
+/// dedup LRU recorded and what skew correction was applied. Written into
+/// the WAL (core/trip_log.h) so replay can rebuild this controller's state
+/// without re-running admit() — which would wrongly dedup-reject the
+/// replayed records.
+struct AdmitInfo {
+  std::uint64_t signature = 0;  ///< pre-correction trip_signature; 0 = none
+  double skew_offset_s = 0.0;   ///< offset subtracted; 0 = uncorrected
+};
+
+/// Complete controller state for a checkpoint: the dedup LRU oldest-first,
+/// the skew table sorted by participant id, and the watermark —
+/// byte-deterministic for a given admission history.
+struct AdmissionCheckpoint {
+  std::vector<std::uint64_t> lru_oldest_first;
+  std::vector<std::pair<std::int32_t, double>> skew_offsets;
+  bool have_watermark = false;
+  SimTime watermark = 0.0;
+};
+
 class AdmissionController {
  public:
   explicit AdmissionController(AdmissionConfig config);
@@ -92,9 +114,24 @@ class AdmissionController {
   /// Runs the checks above. Returns kNone on admission, with `use`
   /// pointing at the upload the pipeline should analyse — `trip` itself,
   /// or `corrected` when a clock-skew offset was subtracted. On rejection
-  /// `use` is left pointing at `trip`. Thread-safe.
+  /// `use` is left pointing at `trip`. When `info` is non-null it receives
+  /// the recorded signature and applied offset (durability plumbing).
+  /// Thread-safe.
   RejectReason admit(const TripUpload& trip, TripUpload& corrected,
-                     const TripUpload*& use);
+                     const TripUpload*& use, AdmitInfo* info = nullptr);
+
+  /// WAL-replay hook: re-records an admission verdict without re-judging
+  /// it — refreshes/inserts the signature in the dedup LRU and restores
+  /// the participant's skew offset. No instruments fire (the original
+  /// admission already counted). Thread-safe.
+  void note_replayed(std::uint64_t signature, std::int32_t participant_id,
+                     double skew_offset_s);
+
+  /// Snapshot of the full mutable state (thread-safe).
+  AdmissionCheckpoint export_state() const;
+
+  /// Replaces the mutable state with a checkpoint (thread-safe).
+  void restore_state(const AdmissionCheckpoint& state);
 
   /// Advances the fusion watermark (called from advance_time). The
   /// watermark only moves forward.

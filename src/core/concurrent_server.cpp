@@ -15,6 +15,13 @@ namespace {
 // slot for a destroyed server is simply never looked up again.
 std::atomic<std::uint64_t> g_next_server_id{1};
 
+// The inner server must not open its own WAL on the same directory: the
+// manager lives in the concurrent front end.
+ServerConfig without_durability(ServerConfig config) {
+  config.durability = DurabilityConfig{};
+  return config;
+}
+
 }  // namespace
 
 void ConcurrentServerConfig::validate() const {
@@ -31,12 +38,19 @@ void ConcurrentServerConfig::validate() const {
 ConcurrentTrafficServer::ConcurrentTrafficServer(
     const City& city, StopDatabase database, ServerConfig config,
     ConcurrentServerConfig concurrency)
-    : inner_(city, std::move(database), config),
+    : inner_(city, std::move(database), without_durability(config)),
       concurrency_(concurrency),
       fusion_(config.fusion,
               std::max<std::size_t>(1, concurrency.fusion_stripes)),
       server_id_(g_next_server_id.fetch_add(1, std::memory_order_relaxed)) {
   concurrency_.validate();
+  if (config.durability.enabled) {
+    config.durability.validate();
+    durability_ = std::make_unique<DurabilityManager>(config.durability, 1);
+    if (config.obs.enabled) {
+      durability_->bind_metrics(&inner_.metrics_registry());
+    }
+  }
   if (config.obs.enabled) {
     MetricsRegistry& reg = inner_.metrics_registry();
     inst_.trips = &reg.counter("pipeline.trips");
@@ -61,14 +75,22 @@ ConcurrentTrafficServer::ThreadBatch& ConcurrentTrafficServer::local_batch() {
 
 TripReport ConcurrentTrafficServer::process_trip(const TripUpload& trip) {
   const double start = inst_.trip_s ? monotonic_time_s() : 0.0;
+  if (durability_ && (!opened_.load(std::memory_order_acquire) ||
+                      closed_.load(std::memory_order_acquire))) {
+    TripReport rejected;
+    rejected.outcome = IngestOutcome::kRejected;
+    rejected.reject_reason = RejectReason::kShutdown;
+    return rejected;
+  }
   // Admission first, through the inner server's shared controller, so
   // dedup/skew state is pipeline-wide whichever front end receives the
   // upload. The controller serialises its own state; the analysis below
   // stays lock-free.
   const TripUpload* use = &trip;
   TripUpload corrected;
+  AdmitInfo info;
   if (AdmissionController* admission = inner_.admission()) {
-    const RejectReason why = admission->admit(trip, corrected, use);
+    const RejectReason why = admission->admit(trip, corrected, use, &info);
     if (why != RejectReason::kNone) {
       TripReport rejected;
       rejected.outcome = IngestOutcome::kRejected;
@@ -76,6 +98,9 @@ TripReport ConcurrentTrafficServer::process_trip(const TripUpload& trip) {
       return rejected;
     }
   }
+  // Write-ahead: the admitted upload is durable before its estimates can
+  // reach any batch (the writer serialises concurrent appends).
+  if (durability_) durability_->append_trip(0, *use, info);
   // Lock-free analysis against immutable state...
   TripReport report = inner_.analyze_trip(*use);
   // ...then buffer the estimates thread-locally; the striped fusion is only
@@ -123,11 +148,90 @@ void ConcurrentTrafficServer::flush_batches() {
 }
 
 void ConcurrentTrafficServer::advance_time(SimTime now) {
+  if (durability_ && opened_.load(std::memory_order_acquire) &&
+      !closed_.load(std::memory_order_acquire)) {
+    durability_->append_time_mark(now);
+  }
   if (AdmissionController* admission = inner_.admission()) {
     admission->observe_time(now);
   }
   flush_batches();
   fusion_.flush_until(now);
+}
+
+void ConcurrentTrafficServer::apply_recovered(const WalRecord& record,
+                                              RecoveryReport* report) {
+  if (record.type == WalRecordType::kTimeMark) {
+    // Watermark only; fusion periods are never closed during replay.
+    if (AdmissionController* admission = inner_.admission()) {
+      admission->observe_time(record.mark_time);
+    }
+    ++report->replayed_time_marks;
+    return;
+  }
+  if (AdmissionController* admission = inner_.admission()) {
+    admission->note_replayed(record.signature, record.trip.participant_id,
+                             record.skew_offset_s);
+  }
+  const TripReport trip_report = inner_.analyze_trip(record.trip);
+  if (!trip_report.estimates.empty()) fold_batch(trip_report.estimates);
+  trips_processed_.fetch_add(1, std::memory_order_relaxed);
+  ++report->replayed_trips;
+}
+
+RecoveryReport ConcurrentTrafficServer::open() {
+  RecoveryReport report;
+  if (!durability_) {
+    opened_.store(true, std::memory_order_release);
+    return report;
+  }
+  report.durable = true;
+  DurabilityManager::Recovery recovery = durability_->open();
+  if (recovery.checkpoint) {
+    report.checkpoint_loaded = true;
+    report.checkpoint_id = recovery.checkpoint->id;
+    fusion_.restore_state(recovery.checkpoint->state.fusion);
+    trips_processed_.store(recovery.checkpoint->state.trips_processed,
+                           std::memory_order_relaxed);
+    if (AdmissionController* admission = inner_.admission()) {
+      if (!recovery.checkpoint->state.admission.empty()) {
+        admission->restore_state(recovery.checkpoint->state.admission.front());
+      }
+    }
+  }
+  for (const WalRecord& record : recovery.replay.front()) {
+    apply_recovered(record, &report);
+  }
+  report.duplicate_records = recovery.duplicate_records;
+  report.truncated_tail_bytes = recovery.truncated_tail_bytes;
+  report.recovered_trips_per_segment = std::move(recovery.recovered_trips);
+  opened_.store(true, std::memory_order_release);
+  return report;
+}
+
+std::uint64_t ConcurrentTrafficServer::checkpoint() {
+  if (!durability_ || !opened_.load(std::memory_order_acquire) ||
+      closed_.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  // Quiescent by contract; fold straggler batches so the exported fusion
+  // state covers everything the WAL covers.
+  flush_batches();
+  CheckpointState state;
+  state.trips_processed = trips_processed_.load(std::memory_order_relaxed);
+  state.fusion = fusion_.export_state();
+  if (AdmissionController* admission = inner_.admission()) {
+    state.admission.push_back(admission->export_state());
+  }
+  return durability_->save_checkpoint(std::move(state));
+}
+
+void ConcurrentTrafficServer::close() {
+  if (durability_ && opened_.load(std::memory_order_acquire) &&
+      !closed_.load(std::memory_order_acquire)) {
+    durability_->close();
+  }
+  closed_.store(true, std::memory_order_release);
 }
 
 TrafficMap ConcurrentTrafficServer::snapshot(SimTime now,

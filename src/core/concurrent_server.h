@@ -70,6 +70,28 @@ class ConcurrentTrafficServer : public TrafficIngestor {
   std::uint64_t publish_epoch(EpochPublisher& publisher, SimTime now,
                               double max_age_s = 3600.0) const override;
 
+  /// Durable lifecycle (core/traffic_ingestor.h). The WAL/checkpoint
+  /// manager lives here, not in the inner server (whose durability config
+  /// is stripped), so the log records exactly the uploads this front end
+  /// admitted. checkpoint() requires quiescence — no concurrent
+  /// process_trip() — same contract as advance_time().
+  RecoveryReport open() override;
+  std::uint64_t checkpoint() override;
+  void close() override;
+
+  /// Recovery hooks for the sharded wrapper (core/ingest_service.h), which
+  /// owns per-shard WAL segments and admission but folds into this
+  /// backend's fusion. Call only while quiescent.
+  std::vector<FusionExportEntry> export_fusion() const {
+    return fusion_.export_state();
+  }
+  void restore_fusion(const std::vector<FusionExportEntry>& entries) {
+    fusion_.restore_state(entries);
+  }
+  void set_trips_processed(std::uint64_t n) {
+    trips_processed_.store(n, std::memory_order_relaxed);
+  }
+
   const MetricsRegistry& metrics() const override { return inner_.metrics(); }
   /// Shared registry (thread-safe instruments; see TrafficServer).
   MetricsRegistry& metrics_registry() { return inner_.metrics_registry(); }
@@ -94,6 +116,7 @@ class ConcurrentTrafficServer : public TrafficIngestor {
 
   ThreadBatch& local_batch();
   void fold_batch(const std::vector<SpeedEstimate>& batch);
+  void apply_recovered(const WalRecord& record, RecoveryReport* report);
 
   // TrafficServer's stateless analysis stages are reused; its own fusion
   // state stays empty — all folds go through the striped fusion below.
@@ -101,6 +124,12 @@ class ConcurrentTrafficServer : public TrafficIngestor {
   ConcurrentServerConfig concurrency_;
   StripedSpeedFusion fusion_;
   std::atomic<std::uint64_t> trips_processed_{0};
+
+  // Durability (null when disabled); the inner server's copy of the config
+  // has durability stripped so only this front end touches the directory.
+  std::unique_ptr<DurabilityManager> durability_;
+  std::atomic<bool> opened_{false};
+  std::atomic<bool> closed_{false};
 
   const std::uint64_t server_id_;  ///< key for thread-local batch lookup
   mutable std::mutex registry_mutex_;

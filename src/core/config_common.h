@@ -1,0 +1,93 @@
+// Shared nested-config building blocks for every server/service config.
+//
+// ServerConfig, ConcurrentServerConfig, IngestServiceConfig and
+// ShardedIngestConfig all grew the same nested `Stages`/`Observability`
+// structs plus a validate() entry point; the serving-tier configs repeated
+// `Observability` a third time. This header defines each block once —
+// existing field names stay source-compatible via member aliases
+// (`using Stages = StagesConfig;` etc. at the embedding site).
+//
+// DurabilityConfig is the knob set for the write-ahead trip log +
+// checkpoint/restore subsystem (core/trip_log.h, core/checkpoint.h,
+// DESIGN.md §14). It is off by default: the historical in-memory-only
+// lifecycle is untouched, and open()/checkpoint()/close() become no-ops.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace bussense {
+
+/// Ablation switches (DESIGN.md A1/A5), grouped: when a stage is disabled,
+/// the pipeline falls back to per-sample best matches / singleton clusters.
+struct StagesConfig {
+  bool trip_mapping = true;  ///< per-trip ML mapping (A1)
+  bool clustering = true;    ///< per-bus-stop co-clustering (A5)
+};
+
+/// Pipeline observability. Recording never changes results; turning it off
+/// removes even the per-stage clock reads for overhead ablations.
+struct ObservabilityConfig {
+  bool enabled = true;
+};
+
+/// When appended write-ahead log bytes reach the disk platter.
+enum class FsyncPolicy : std::uint8_t {
+  kNever,        ///< OS page cache only; fsync at checkpoint/close barriers
+  kInterval,     ///< fsync every `fsync_interval_records` appends
+  kEveryRecord,  ///< fsync after every append (strongest, slowest)
+};
+
+inline const char* to_string(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kNever: return "never";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kEveryRecord: return "every_record";
+  }
+  return "?";
+}
+
+/// Durable-ingest knobs: where the write-ahead trip log and checkpoint
+/// files live and how eagerly appends are synced. Embedded in ServerConfig;
+/// every TrafficIngestor front end honours it through the
+/// open()/checkpoint()/close() lifecycle (core/traffic_ingestor.h).
+struct DurabilityConfig {
+  /// Off by default: no files are touched and the lifecycle calls are
+  /// no-ops — existing deployments are untouched.
+  bool enabled = false;
+
+  /// Directory for WAL segments (`trips-<segment>.wal`) and checkpoints
+  /// (`checkpoint-<id>.ckpt`). Created on open() if missing.
+  std::string directory;
+
+  FsyncPolicy fsync = FsyncPolicy::kNever;
+
+  /// Appends between fsyncs under FsyncPolicy::kInterval.
+  std::uint64_t fsync_interval_records = 256;
+
+  /// Checkpoint files retained after a successful save (older ones are
+  /// pruned; at least 1).
+  std::size_t checkpoints_kept = 2;
+
+  /// Throws std::invalid_argument on nonsense (enabled without a
+  /// directory, a zero fsync interval, zero checkpoints kept).
+  void validate() const {
+    if (!enabled) return;
+    if (directory.empty()) {
+      throw std::invalid_argument(
+          "DurabilityConfig: enabled requires a non-empty directory");
+    }
+    if (fsync == FsyncPolicy::kInterval && fsync_interval_records == 0) {
+      throw std::invalid_argument(
+          "DurabilityConfig: fsync_interval_records must be > 0 under "
+          "kInterval");
+    }
+    if (checkpoints_kept == 0) {
+      throw std::invalid_argument(
+          "DurabilityConfig: checkpoints_kept must be > 0");
+    }
+  }
+};
+
+}  // namespace bussense

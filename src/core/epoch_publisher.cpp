@@ -183,6 +183,66 @@ RegionAggregate EpochSnapshot::region(const BoundingBox& box) const {
   return out;
 }
 
+std::vector<NearestSegment> EpochSnapshot::k_nearest(Point p,
+                                                     std::size_t k) const {
+  std::vector<NearestSegment> best;  // kept sorted by (distance, key)
+  if (k == 0) return best;
+  const SegmentGeometry& geo = *geometry_;
+  const auto before = [](const NearestSegment& a, const NearestSegment& b) {
+    if (a.distance_m != b.distance_m) return a.distance_m < b.distance_m;
+    if (a.segment.key.from != b.segment.key.from) {
+      return a.segment.key.from < b.segment.key.from;
+    }
+    return a.segment.key.to < b.segment.key.to;
+  };
+  const auto consider = [&](std::uint32_t ordinal) {
+    const std::uint32_t li = live_of_ordinal_[ordinal];
+    if (li == kNotLive) return;
+    const SegmentGeometry::Entry& e = geo.entry(ordinal);
+    NearestSegment candidate{map_.segments()[li], e.midpoint,
+                             distance(p, e.midpoint)};
+    if (best.size() == k && !before(candidate, best.back())) return;
+    best.insert(std::upper_bound(best.begin(), best.end(), candidate, before),
+                std::move(candidate));
+    if (best.size() > k) best.pop_back();
+  };
+
+  // Chebyshev rings around the (clamped) cell containing p. Any midpoint
+  // in a ring-d cell is at least (d-1)*min_cell from the center cell, and
+  // clamping only shrinks per-axis distances, so the bound also holds for
+  // query points outside the city box.
+  const int cc = geo.col_of(p.x);
+  const int cr = geo.row_of(p.y);
+  const double cell_w = geo.region().width() / geo.cols();
+  const double cell_h = geo.region().height() / geo.rows();
+  const double min_cell = std::min(cell_w, cell_h);
+  const int max_ring = std::max(
+      std::max(cc, geo.cols() - 1 - cc), std::max(cr, geo.rows() - 1 - cr));
+  for (int d = 0; d <= max_ring; ++d) {
+    if (best.size() == k && min_cell > 0.0 &&
+        static_cast<double>(d - 1) * min_cell > best.back().distance_m) {
+      break;
+    }
+    // Visit the ring's cells in row-major order (deterministic ties).
+    const int r0 = std::max(0, cr - d), r1 = std::min(geo.rows() - 1, cr + d);
+    const int c0 = std::max(0, cc - d), c1 = std::min(geo.cols() - 1, cc + d);
+    for (int r = r0; r <= r1; ++r) {
+      const bool edge_row = (r == cr - d || r == cr + d);
+      for (int c = c0; c <= c1; ++c) {
+        if (!edge_row && c != cc - d && c != cc + d) continue;  // interior
+        const std::size_t cell = static_cast<std::size_t>(r) *
+                                     static_cast<std::size_t>(geo.cols()) +
+                                 static_cast<std::size_t>(c);
+        for (const std::uint32_t* it = geo.cell_begin(cell);
+             it != geo.cell_end(cell); ++it) {
+          consider(*it);
+        }
+      }
+    }
+  }
+  return best;
+}
+
 // ----------------------------------------------------------- EpochPublisher
 
 EpochPublisher::EpochPublisher(const SegmentCatalog& catalog,

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "common/geo.h"
+#include "core/config_common.h"
 #include "core/fusion.h"
 #include "core/segment_catalog.h"
 #include "core/traffic_map.h"
@@ -65,9 +66,7 @@ struct EpochPublisherConfig {
   /// Spatial grid for region queries, over the city bounding box.
   int grid_cols = 32;
   int grid_rows = 16;
-  struct Observability {
-    bool enabled = true;
-  };
+  using Observability = ObservabilityConfig;  // core/config_common.h
   Observability obs;
 
   /// Throws std::invalid_argument on nonsense (no readers, empty grid,
@@ -87,6 +86,15 @@ struct RegionAggregate {
   double total_length_m = 0.0;
   double coverage_ratio = 0.0;  ///< live_length / total_length (0 if empty)
   std::array<int, 5> level_histogram{};  ///< live segments per SpeedLevel
+};
+
+/// One answer row of a k-nearest query: a live segment (copied out of the
+/// epoch's map), its catalogued midpoint and its straight-line distance
+/// from the query point.
+struct NearestSegment {
+  MapSegment segment;
+  Point midpoint;
+  double distance_m = 0.0;
 };
 
 /// Static geometry of every catalogued adjacent segment, built once per
@@ -159,6 +167,15 @@ class EpochSnapshot {
   /// Region aggregate over the grid; deterministic per epoch (fixed
   /// cell-then-ordinal fold order).
   RegionAggregate region(const BoundingBox& box) const;
+
+  /// The k live segments whose midpoints are nearest `p` (Euclidean,
+  /// planar-frame metres — NOT lat/lon), ordered by (distance, key). Walks
+  /// the publisher's grid in expanding Chebyshev rings from the cell
+  /// containing `p` (clamped into the city box for points outside it) and
+  /// stops once every unvisited ring is provably farther than the current
+  /// k-th best — bit-identical to a brute-force scan (property-tested).
+  /// Fewer than k rows when the epoch has fewer live segments.
+  std::vector<NearestSegment> k_nearest(Point p, std::size_t k) const;
 
   // Whole-map aggregates, precomputed at publish.
   double coverage_ratio() const { return coverage_ratio_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 namespace bussense {
 
@@ -79,6 +80,40 @@ void SpeedFusion::visit_all(
   }
 }
 
+std::vector<FusionExportEntry> SpeedFusion::export_state() const {
+  std::vector<FusionExportEntry> out;
+  out.reserve(states_.size());
+  for (const auto& [key, state] : states_) {
+    FusionExportEntry entry;
+    entry.key = key;
+    entry.fused = state.fused;
+    entry.pending.reserve(state.pending.size());
+    for (const auto& [period, values] : state.pending) {
+      std::vector<double> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      entry.pending.emplace_back(period, std::move(sorted));
+    }
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FusionExportEntry& a, const FusionExportEntry& b) {
+              return a.key.from != b.key.from ? a.key.from < b.key.from
+                                              : a.key.to < b.key.to;
+            });
+  return out;
+}
+
+void SpeedFusion::restore_state(const std::vector<FusionExportEntry>& entries) {
+  states_.clear();
+  for (const FusionExportEntry& entry : entries) {
+    State& state = states_[entry.key];
+    state.fused = entry.fused;
+    for (const auto& [period, values] : entry.pending) {
+      state.pending[period] = values;
+    }
+  }
+}
+
 // ----------------------------------------------------- StripedSpeedFusion
 
 StripedSpeedFusion::StripedSpeedFusion(FusionConfig config,
@@ -137,6 +172,37 @@ std::vector<std::pair<SegmentKey, FusedSpeed>> StripedSpeedFusion::all() const {
     out.insert(out.end(), part.begin(), part.end());
   }
   return out;
+}
+
+std::vector<FusionExportEntry> StripedSpeedFusion::export_state() const {
+  std::vector<FusionExportEntry> out;
+  for (const auto& stripe : stripes_) {
+    const std::lock_guard<std::mutex> lock(stripe->mutex);
+    auto part = stripe->fusion.export_state();
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  // Stripes partition the key space, so the concatenation has no duplicate
+  // keys — one global sort yields the same canonical order as the
+  // single-shard export.
+  std::sort(out.begin(), out.end(),
+            [](const FusionExportEntry& a, const FusionExportEntry& b) {
+              return a.key.from != b.key.from ? a.key.from < b.key.from
+                                              : a.key.to < b.key.to;
+            });
+  return out;
+}
+
+void StripedSpeedFusion::restore_state(
+    const std::vector<FusionExportEntry>& entries) {
+  std::vector<std::vector<FusionExportEntry>> per_stripe(stripes_.size());
+  for (const FusionExportEntry& entry : entries) {
+    per_stripe[stripe_of(entry.key)].push_back(entry);
+  }
+  for (std::size_t s = 0; s < stripes_.size(); ++s) {
+    const std::lock_guard<std::mutex> lock(stripes_[s]->mutex);
+    stripes_[s]->fusion.restore_state(per_stripe[s]);
+  }
 }
 
 void StripedSpeedFusion::visit_all(

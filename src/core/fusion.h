@@ -45,6 +45,18 @@ struct FusedSpeed {
   int observation_count = 0;  ///< raw estimates folded in so far
 };
 
+/// One segment's complete fusion state — the fused posterior plus every
+/// still-open period batch — exported for checkpoints (core/checkpoint.h).
+/// export_state() sorts entries by key and each period's pending values
+/// ascending, so the export of a given fused state is byte-deterministic;
+/// restoring sorted values is lossless because flush_until() sorts before
+/// summing anyway.
+struct FusionExportEntry {
+  SegmentKey key;
+  std::optional<FusedSpeed> fused;
+  std::vector<std::pair<std::int64_t, std::vector<double>>> pending;
+};
+
 class SpeedFusion {
  public:
   explicit SpeedFusion(FusionConfig config = {});
@@ -73,6 +85,15 @@ class SpeedFusion {
   /// re-enter this fusion.
   void visit_all(
       const std::function<void(const SegmentKey&, const FusedSpeed&)>& fn) const;
+
+  /// Complete state for a checkpoint, sorted by key (byte-deterministic).
+  std::vector<FusionExportEntry> export_state() const;
+
+  /// Replaces all state with an export. The rebuilt map's *iteration* order
+  /// follows the (sorted) entry order, which may differ from the original
+  /// insertion order — per-segment arithmetic and the fused values are
+  /// bit-identical; consumers comparing whole maps must canonicalise.
+  void restore_state(const std::vector<FusionExportEntry>& entries);
 
   const FusionConfig& config() const { return config_; }
 
@@ -119,6 +140,14 @@ class StripedSpeedFusion {
   /// own pass only). The callback must not touch this fusion.
   void visit_all(
       const std::function<void(const SegmentKey&, const FusedSpeed&)>& fn) const;
+
+  /// Merged state of every stripe, sorted by key (byte-deterministic;
+  /// thread-safe).
+  std::vector<FusionExportEntry> export_state() const;
+
+  /// Replaces all state; each entry is routed to its owning stripe, so the
+  /// restored per-segment state is bit-identical at any stripe count.
+  void restore_state(const std::vector<FusionExportEntry>& entries);
 
   const FusionConfig& config() const { return config_; }
   std::size_t stripe_count() const { return stripes_.size(); }

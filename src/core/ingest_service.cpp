@@ -27,7 +27,8 @@ void IngestServiceConfig::validate() const {
 IngestService::IngestService(const City& city, StopDatabase database,
                              ServerConfig config, IngestServiceConfig service)
     : backend_(city, std::move(database), config, service.concurrency),
-      service_(service) {
+      service_(service),
+      durable_(config.durability.enabled) {
   service_.validate();
   if (config.obs.enabled) {
     MetricsRegistry& reg = backend_.metrics_registry();
@@ -63,6 +64,13 @@ IngestService::~IngestService() { shutdown(); }
 
 TripReport IngestService::process_trip(const TripUpload& trip) {
   TripReport report;
+  if (durable_ && (!lifecycle_open_.load(std::memory_order_acquire) ||
+                   lifecycle_closed_.load(std::memory_order_acquire))) {
+    report.outcome = IngestOutcome::kRejected;
+    report.reject_reason = RejectReason::kShutdown;
+    if (inst_.rejected_shutdown) inst_.rejected_shutdown->inc();
+    return report;
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (!closed_ &&
@@ -180,6 +188,23 @@ void IngestService::advance_time(SimTime now) {
   backend_.advance_time(now);
 }
 
+RecoveryReport IngestService::open() {
+  RecoveryReport report = backend_.open();
+  lifecycle_open_.store(true, std::memory_order_release);
+  return report;
+}
+
+std::uint64_t IngestService::checkpoint() {
+  drain();
+  return backend_.checkpoint();
+}
+
+void IngestService::close() {
+  drain();
+  backend_.close();
+  lifecycle_closed_.store(true, std::memory_order_release);
+}
+
 void IngestService::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -237,10 +262,12 @@ struct Backoff {
   void reset() { spins = 0; }
 };
 
-ServerConfig without_admission(ServerConfig config) {
-  // The shards own admission (partition-local dedup/skew state); the
-  // backend must not run a second, shared controller on top.
+ServerConfig sharded_backend_config(ServerConfig config) {
+  // The shards own admission (partition-local dedup/skew state) and the
+  // service owns durability (one WAL segment per shard); the backend must
+  // not run a second controller or open a second log on the directory.
   config.admission.enabled = false;
+  config.durability = DurabilityConfig{};
   return config;
 }
 
@@ -265,17 +292,26 @@ ShardedIngestService::ShardedIngestService(const City& city,
                                            StopDatabase database,
                                            ServerConfig config,
                                            ShardedIngestConfig sharding)
-    : backend_(city, std::move(database), without_admission(config),
+    : backend_(city, std::move(database), sharded_backend_config(config),
                sharding.concurrency),
       sharding_(sharding),
       service_id_(
           g_next_sharded_service_id.fetch_add(1, std::memory_order_relaxed)) {
   sharding_.validate();
+  if (config.durability.enabled) {
+    config.durability.validate();
+    durability_ =
+        std::make_unique<DurabilityManager>(config.durability, sharding_.shards);
+    if (config.obs.enabled) {
+      durability_->bind_metrics(&backend_.metrics_registry());
+    }
+  }
   // The backend constructor validated the full ServerConfig (admission
   // bounds included); the per-shard controllers below re-use it as given.
   shards_.reserve(sharding_.shards);
   for (std::size_t i = 0; i < sharding_.shards; ++i) {
     auto shard = std::make_unique<Shard>();
+    shard->index = i;
     shard->lanes.reserve(sharding_.max_producer_lanes);
     for (std::size_t lane = 0; lane < sharding_.max_producer_lanes; ++lane) {
       shard->lanes.push_back(
@@ -344,6 +380,10 @@ TripReport ShardedIngestService::process_trip(const TripUpload& trip) {
   if (closed_.load(std::memory_order_acquire)) {
     return reject(RejectReason::kShutdown, shard.inst.rejected_shutdown);
   }
+  if (durability_ && (!lifecycle_open_.load(std::memory_order_acquire) ||
+                      lifecycle_closed_.load(std::memory_order_acquire))) {
+    return reject(RejectReason::kShutdown, shard.inst.rejected_shutdown);
+  }
 
   const std::size_t lane = producer_lane();
   if (lane < shard.lanes.size()) {
@@ -397,12 +437,17 @@ void ShardedIngestService::process_one(Shard& shard, const TripUpload& trip) {
   try {
     const TripUpload* use = &trip;
     TripUpload corrected;
+    AdmitInfo info;
     if (shard.admission) {
-      const RejectReason why = shard.admission->admit(trip, corrected, use);
+      const RejectReason why =
+          shard.admission->admit(trip, corrected, use, &info);
       if (why != RejectReason::kNone) return;  // verdict counted by the
                                                // controller in the shard
                                                // registry
     }
+    // Write-ahead into the shard's own segment; only this consumer thread
+    // appends to it, so segment order == the shard's processing order.
+    if (durability_) durability_->append_trip(shard.index, *use, info);
     backend_.process_trip(*use);
     if (shard.inst.processed) shard.inst.processed->inc();
   } catch (...) {
@@ -488,10 +533,90 @@ void ShardedIngestService::drain() {
 
 void ShardedIngestService::advance_time(SimTime now) {
   drain();
+  if (durability_ && lifecycle_open_.load(std::memory_order_acquire) &&
+      !lifecycle_closed_.load(std::memory_order_acquire)) {
+    durability_->append_time_mark(now);
+  }
   for (auto& shard : shards_) {
     if (shard->admission) shard->admission->observe_time(now);
   }
   backend_.advance_time(now);
+}
+
+RecoveryReport ShardedIngestService::open() {
+  RecoveryReport report;
+  if (!durability_) {
+    lifecycle_open_.store(true, std::memory_order_release);
+    return report;
+  }
+  report.durable = true;
+  DurabilityManager::Recovery recovery = durability_->open();
+  if (recovery.checkpoint) {
+    report.checkpoint_loaded = true;
+    report.checkpoint_id = recovery.checkpoint->id;
+    backend_.restore_fusion(recovery.checkpoint->state.fusion);
+    backend_.set_trips_processed(recovery.checkpoint->state.trips_processed);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i]->admission &&
+          i < recovery.checkpoint->state.admission.size()) {
+        shards_[i]->admission->restore_state(
+            recovery.checkpoint->state.admission[i]);
+      }
+    }
+  }
+  // Shard-by-shard, seq order within each shard. Fusion periods are never
+  // closed during replay, so this sequential order yields the same fused
+  // map as the original interleaving (period sums are order-insensitive).
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (const WalRecord& record : recovery.replay[i]) {
+      if (record.type == WalRecordType::kTimeMark) {
+        if (shards_[i]->admission) {
+          shards_[i]->admission->observe_time(record.mark_time);
+        }
+        ++report.replayed_time_marks;
+        continue;
+      }
+      if (shards_[i]->admission) {
+        shards_[i]->admission->note_replayed(
+            record.signature, record.trip.participant_id,
+            record.skew_offset_s);
+      }
+      backend_.process_trip(record.trip);
+      ++report.replayed_trips;
+    }
+  }
+  report.duplicate_records = recovery.duplicate_records;
+  report.truncated_tail_bytes = recovery.truncated_tail_bytes;
+  report.recovered_trips_per_segment = std::move(recovery.recovered_trips);
+  lifecycle_open_.store(true, std::memory_order_release);
+  return report;
+}
+
+std::uint64_t ShardedIngestService::checkpoint() {
+  if (!durability_ || !lifecycle_open_.load(std::memory_order_acquire) ||
+      lifecycle_closed_.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  drain();
+  backend_.flush_batches();
+  CheckpointState state;
+  state.trips_processed = backend_.trips_processed();
+  state.fusion = backend_.export_fusion();
+  for (const auto& shard : shards_) {
+    if (shard->admission) {
+      state.admission.push_back(shard->admission->export_state());
+    }
+  }
+  return durability_->save_checkpoint(std::move(state));
+}
+
+void ShardedIngestService::close() {
+  if (durability_ && lifecycle_open_.load(std::memory_order_acquire) &&
+      !lifecycle_closed_.load(std::memory_order_acquire)) {
+    drain();
+    durability_->close();
+  }
+  lifecycle_closed_.store(true, std::memory_order_release);
 }
 
 void ShardedIngestService::shutdown() {

@@ -115,6 +115,15 @@ class IngestService final : public TrafficIngestor {
     return backend_.trips_processed();
   }
 
+  /// Durable lifecycle, delegated to the concurrent backend (which owns
+  /// the WAL/checkpoint manager). checkpoint() and close() drain the queue
+  /// first so the recovery point covers every enqueued upload; with
+  /// durability enabled, process_trip() outside open()..close() is
+  /// rejected with kShutdown at enqueue time.
+  RecoveryReport open() override;
+  std::uint64_t checkpoint() override;
+  void close() override;
+
   std::size_t queue_depth() const;
   bool closed() const;
   const ConcurrentTrafficServer& backend() const { return backend_; }
@@ -131,6 +140,9 @@ class IngestService final : public TrafficIngestor {
 
   ConcurrentTrafficServer backend_;
   IngestServiceConfig service_;
+  bool durable_ = false;  ///< config.durability.enabled
+  std::atomic<bool> lifecycle_open_{false};
+  std::atomic<bool> lifecycle_closed_{false};
 
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;  ///< queue gained an item / closed
@@ -266,6 +278,16 @@ class ShardedIngestService final : public TrafficIngestor {
     return backend_.trips_processed();
   }
 
+  /// Durable lifecycle. This front end owns a WAL segment *per shard*
+  /// (trips-<shard>.wal) plus one checkpoint stream; the backend's
+  /// admission and durability are both stripped (shards admit, this class
+  /// logs). open() replays shard by shard in seq order — fusion periods
+  /// are never closed during replay, so the segment replay order cannot
+  /// change the fused map. checkpoint()/close() drain first.
+  RecoveryReport open() override;
+  std::uint64_t checkpoint() override;
+  void close() override;
+
   /// Stable partition of a participant id (mix64 hash mod shard count).
   std::size_t shard_of(std::int32_t participant_id) const;
   std::size_t shard_count() const { return shards_.size(); }
@@ -277,6 +299,7 @@ class ShardedIngestService final : public TrafficIngestor {
 
  private:
   struct Shard {
+    std::size_t index = 0;  ///< position in shards_ == WAL segment number
     /// Fixed lane array, one SPSC ring per producer slot, allocated
     /// eagerly so consumers never race a lane's publication.
     std::vector<std::unique_ptr<SpscRing<TripUpload>>> lanes;
@@ -312,6 +335,12 @@ class ShardedIngestService final : public TrafficIngestor {
   ConcurrentTrafficServer backend_;
   ShardedIngestConfig sharding_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Durability (null when disabled): one WAL segment per shard, appended
+  // by that shard's consumer thread (single writer per segment).
+  std::unique_ptr<DurabilityManager> durability_;
+  std::atomic<bool> lifecycle_open_{false};
+  std::atomic<bool> lifecycle_closed_{false};
 
   std::atomic<bool> closed_{false};
   /// Producers currently inside process_trip(). Consumers only exit when

@@ -12,10 +12,12 @@ QueryService::QueryService(const EpochPublisher& publisher,
     inst_.segment = &metrics_->counter("queries.segment");
     inst_.eta = &metrics_->counter("queries.eta");
     inst_.region = &metrics_->counter("queries.region");
+    inst_.knearest = &metrics_->counter("queries.knearest");
     inst_.no_epoch = &metrics_->counter("queries.no_epoch");
     inst_.lat_segment = &metrics_->histogram("query.latency.segment");
     inst_.lat_eta = &metrics_->histogram("query.latency.eta");
     inst_.lat_region = &metrics_->histogram("query.latency.region");
+    inst_.lat_knearest = &metrics_->histogram("query.latency.knearest");
   }
 }
 
@@ -76,6 +78,24 @@ RegionAggregate QueryService::region_aggregate(const BoundingBox& box) const {
   }
   if (inst_.region) inst_.region->inc();
   if (inst_.lat_region) inst_.lat_region->record(monotonic_time_s() - t0);
+  return out;
+}
+
+KNearestResult QueryService::k_nearest_live_segments(Point p,
+                                                     std::size_t k) const {
+  const double t0 = inst_.lat_knearest ? monotonic_time_s() : 0.0;
+  KNearestResult out;
+  if (const EpochPublisher::Pin pin = publisher_->pin()) {
+    out.epoch_id = pin->id();
+    out.epoch_time = pin->time();
+    out.nearest = pin->k_nearest(p, k);
+  } else if (inst_.no_epoch) {
+    inst_.no_epoch->inc();
+  }
+  if (inst_.knearest) inst_.knearest->inc();
+  if (inst_.lat_knearest) {
+    inst_.lat_knearest->record(monotonic_time_s() - t0);
+  }
   return out;
 }
 

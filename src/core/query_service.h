@@ -33,9 +33,7 @@ namespace bussense {
 
 struct QueryServiceConfig {
   ArrivalPredictorConfig predictor;
-  struct Observability {
-    bool enabled = true;
-  };
+  using Observability = ObservabilityConfig;  // core/config_common.h
   Observability obs;
 };
 
@@ -60,6 +58,15 @@ struct RouteEtaResult {
   std::vector<ArrivalPrediction> arrivals;
 };
 
+/// Answer to a k-nearest-live-segments query. Empty (epoch_id 0) before
+/// the first publish; fewer than k rows when the epoch has fewer live
+/// segments.
+struct KNearestResult {
+  std::uint64_t epoch_id = 0;
+  SimTime epoch_time = 0.0;
+  std::vector<NearestSegment> nearest;  ///< ordered by (distance, key)
+};
+
 class QueryService {
  public:
   explicit QueryService(const EpochPublisher& publisher,
@@ -77,6 +84,15 @@ class QueryService {
   /// Aggregate speed/coverage over a bounding box from the current epoch.
   RegionAggregate region_aggregate(const BoundingBox& box) const;
 
+  /// The k live segments nearest `p` (planar-frame metres, midpoint
+  /// distance) from the current epoch, via the publisher grid's expanding
+  /// ring walk — bit-identical to a brute-force scan of the epoch's map.
+  KNearestResult k_nearest_live_segments(Point p, std::size_t k) const;
+  KNearestResult k_nearest_live_segments(double x, double y,
+                                         std::size_t k) const {
+    return k_nearest_live_segments(Point{x, y}, k);
+  }
+
   /// Escape hatch: hold one epoch across several lookups (e.g. a display
   /// frame). The pin must be released on this thread.
   EpochPublisher::Pin pin() const { return publisher_->pin(); }
@@ -85,9 +101,9 @@ class QueryService {
   const ArrivalPredictor& predictor() const { return predictor_; }
   const QueryServiceConfig& config() const { return config_; }
 
-  /// Query-side instruments: queries.{segment,eta,region} counters,
-  /// queries.no_epoch, query.latency.{segment,eta,region} histograms.
-  /// Empty when observability is disabled.
+  /// Query-side instruments: queries.{segment,eta,region,knearest}
+  /// counters, queries.no_epoch, query.latency.{segment,eta,region,
+  /// knearest} histograms. Empty when observability is disabled.
   const MetricsRegistry& metrics() const { return *metrics_; }
   MetricsRegistry& metrics_registry() { return *metrics_; }
 
@@ -100,10 +116,12 @@ class QueryService {
     Counter* segment = nullptr;
     Counter* eta = nullptr;
     Counter* region = nullptr;
+    Counter* knearest = nullptr;
     Counter* no_epoch = nullptr;
     BucketHistogram* lat_segment = nullptr;
     BucketHistogram* lat_eta = nullptr;
     BucketHistogram* lat_region = nullptr;
+    BucketHistogram* lat_knearest = nullptr;
   };
   Instruments inst_;
 };

@@ -32,6 +32,7 @@ void ServerConfig::validate() const {
         "ServerConfig: fusion.process_noise_per_s must be >= 0");
   }
   admission.validate();
+  durability.validate();
 }
 
 TrafficServer::TrafficServer(const City& city, StopDatabase database,
@@ -50,6 +51,9 @@ TrafficServer::TrafficServer(const City& city, StopDatabase database,
   if (config_.admission.enabled) {
     admission_ = std::make_unique<AdmissionController>(config_.admission);
   }
+  if (config_.durability.enabled) {
+    durability_ = std::make_unique<DurabilityManager>(config_.durability, 1);
+  }
   if (config_.obs.enabled) {
     inst_.trips = &metrics_->counter("pipeline.trips");
     inst_.samples_considered = &metrics_->counter("pipeline.samples_considered");
@@ -65,6 +69,7 @@ TrafficServer::TrafficServer(const City& city, StopDatabase database,
     inst_.trip_s = &metrics_->histogram("pipeline.trip_s");
     matcher_.bind_metrics(metrics_.get());
     if (admission_) admission_->bind_metrics(metrics_.get());
+    if (durability_) durability_->bind_metrics(metrics_.get());
   }
 }
 
@@ -163,10 +168,17 @@ void TrafficServer::ingest(const std::vector<SpeedEstimate>& estimates) {
 
 TrafficServer::TripReport TrafficServer::process_trip(const TripUpload& trip) {
   const double start = inst_.trip_s ? monotonic_time_s() : 0.0;
+  if (durability_ && (!opened_ || closed_)) {
+    TripReport rejected;
+    rejected.outcome = IngestOutcome::kRejected;
+    rejected.reject_reason = RejectReason::kShutdown;
+    return rejected;
+  }
   const TripUpload* use = &trip;
   TripUpload corrected;
+  AdmitInfo info;
   if (admission_) {
-    const RejectReason why = admission_->admit(trip, corrected, use);
+    const RejectReason why = admission_->admit(trip, corrected, use, &info);
     if (why != RejectReason::kNone) {
       TripReport rejected;
       rejected.outcome = IngestOutcome::kRejected;
@@ -174,6 +186,9 @@ TrafficServer::TripReport TrafficServer::process_trip(const TripUpload& trip) {
       return rejected;
     }
   }
+  // Write-ahead: the admitted upload reaches the log before any of its
+  // estimates touch the fusion state.
+  if (durability_) durability_->append_trip(0, *use, info);
   TripReport report = analyze_trip(*use);
   ingest(report.estimates);
   ++trips_processed_;
@@ -182,6 +197,72 @@ TrafficServer::TripReport TrafficServer::process_trip(const TripUpload& trip) {
     inst_.trips->inc();
   }
   return report;
+}
+
+void TrafficServer::advance_time(SimTime now) {
+  if (durability_ && opened_ && !closed_) durability_->append_time_mark(now);
+  if (admission_) admission_->observe_time(now);
+  fusion_.flush_until(now);
+}
+
+void TrafficServer::apply_recovered(const WalRecord& record,
+                                    RecoveryReport* report) {
+  if (record.type == WalRecordType::kTimeMark) {
+    // Watermark only — fusion periods are never closed during replay, so
+    // shard/segment replay order cannot change what flush_until() sees.
+    if (admission_) admission_->observe_time(record.mark_time);
+    ++report->replayed_time_marks;
+    return;
+  }
+  if (admission_) {
+    admission_->note_replayed(record.signature, record.trip.participant_id,
+                              record.skew_offset_s);
+  }
+  const TripReport trip_report = analyze_trip(record.trip);
+  ingest(trip_report.estimates);
+  ++trips_processed_;
+  ++report->replayed_trips;
+}
+
+RecoveryReport TrafficServer::open() {
+  RecoveryReport report;
+  if (!durability_) {
+    opened_ = true;
+    return report;
+  }
+  report.durable = true;
+  DurabilityManager::Recovery recovery = durability_->open();
+  if (recovery.checkpoint) {
+    report.checkpoint_loaded = true;
+    report.checkpoint_id = recovery.checkpoint->id;
+    fusion_.restore_state(recovery.checkpoint->state.fusion);
+    trips_processed_ = recovery.checkpoint->state.trips_processed;
+    if (admission_ && !recovery.checkpoint->state.admission.empty()) {
+      admission_->restore_state(recovery.checkpoint->state.admission.front());
+    }
+  }
+  for (const WalRecord& record : recovery.replay.front()) {
+    apply_recovered(record, &report);
+  }
+  report.duplicate_records = recovery.duplicate_records;
+  report.truncated_tail_bytes = recovery.truncated_tail_bytes;
+  report.recovered_trips_per_segment = std::move(recovery.recovered_trips);
+  opened_ = true;
+  return report;
+}
+
+std::uint64_t TrafficServer::checkpoint() {
+  if (!durability_ || !opened_ || closed_) return 0;
+  CheckpointState state;
+  state.trips_processed = trips_processed_;
+  state.fusion = fusion_.export_state();
+  if (admission_) state.admission.push_back(admission_->export_state());
+  return durability_->save_checkpoint(std::move(state));
+}
+
+void TrafficServer::close() {
+  if (durability_ && opened_ && !closed_) durability_->close();
+  closed_ = true;
 }
 
 TrafficMap TrafficServer::snapshot(SimTime now, double max_age_s) const {

@@ -17,7 +17,9 @@
 
 #include "citynet/city.h"
 #include "core/admission.h"
+#include "core/checkpoint.h"
 #include "core/clustering.h"
+#include "core/config_common.h"
 #include "core/fusion.h"
 #include "core/route_graph.h"
 #include "core/segment_catalog.h"
@@ -37,21 +39,18 @@ struct ServerConfig {
   AttModelConfig att;
   FusionConfig fusion;
 
-  /// Ablation switches (DESIGN.md A1/A5), grouped: when a stage is
-  /// disabled, the pipeline falls back to per-sample best matches /
-  /// singleton clusters.
-  struct Stages {
-    bool trip_mapping = true;  ///< per-trip ML mapping (A1)
-    bool clustering = true;    ///< per-bus-stop co-clustering (A5)
-  };
+  /// Shared nested blocks (core/config_common.h); the aliases keep the
+  /// historical `ServerConfig::Stages{...}` spellings source-compatible.
+  using Stages = StagesConfig;
+  using Observability = ObservabilityConfig;
   Stages stages;
-
-  /// Pipeline observability. Recording never changes results; turning it
-  /// off removes even the per-stage clock reads for overhead ablations.
-  struct Observability {
-    bool enabled = true;
-  };
   Observability obs;
+
+  /// Write-ahead trip log + checkpoint/restore (DESIGN.md §14). Off by
+  /// default; when enabled the front end gains the
+  /// open()/checkpoint()/close() lifecycle and every admitted upload is
+  /// logged before its estimates are applied.
+  DurabilityConfig durability;
 
   /// Admission control (core/admission.h): replay dedup, sanity bounds and
   /// clock-skew re-anchoring before any pipeline work. Off by default; on
@@ -92,13 +91,18 @@ class TrafficServer : public TrafficIngestor {
       const std::vector<MatchedSample>& matched) const;
   MappedTrip map_trip(const std::vector<SampleCluster>& clusters) const;
 
-  void advance_time(SimTime now) override {
-    if (admission_) admission_->observe_time(now);
-    fusion_.flush_until(now);
-  }
+  void advance_time(SimTime now) override;
   TrafficMap snapshot(SimTime now, double max_age_s = 3600.0) const override;
   std::uint64_t publish_epoch(EpochPublisher& publisher, SimTime now,
                               double max_age_s = 3600.0) const override;
+
+  /// Durable lifecycle (core/traffic_ingestor.h). With durability disabled
+  /// these are the base-class no-ops; with it enabled, open() recovers
+  /// checkpoint + WAL-suffix state and process_trip() outside the
+  /// open()..close() window is rejected with kShutdown.
+  RecoveryReport open() override;
+  std::uint64_t checkpoint() override;
+  void close() override;
 
   /// The shared admission stage; null when ServerConfig::admission is
   /// disabled. The concurrent front end routes its uploads through this
@@ -130,6 +134,14 @@ class TrafficServer : public TrafficIngestor {
   SpeedFusion fusion_;
   std::unique_ptr<AdmissionController> admission_;
   std::uint64_t trips_processed_ = 0;
+
+  // Durability (null when disabled). Destruction without close() models a
+  // crash: the WAL keeps only what reached the fd per the fsync policy.
+  std::unique_ptr<DurabilityManager> durability_;
+  bool opened_ = false;
+  bool closed_ = false;
+
+  void apply_recovered(const WalRecord& record, RecoveryReport* report);
 
   // Observability: instruments cached at construction; all null-checked so
   // the disabled path costs one branch. Owned registry exists either way

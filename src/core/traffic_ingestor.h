@@ -24,6 +24,18 @@
 //   * metrics() — the pipeline-wide MetricsRegistry (throughput, rejection
 //     counts, per-stage latency). Always present; empty when observability
 //     is disabled in ServerConfig.
+//
+// Durable front ends (ServerConfig::durability.enabled) add a lifecycle:
+//
+//   * open() — recover from the write-ahead trip log + latest checkpoint
+//     (DESIGN.md §14), then start accepting trips. With durability off this
+//     is a no-op returning an empty report.
+//   * checkpoint() — persist a recovery point covering everything processed
+//     so far. The caller must be quiescent (asynchronous front ends drain
+//     first, same contract as advance_time()).
+//   * close() — final WAL sync + shut the log; subsequent process_trip()
+//     calls are rejected with kShutdown. Destruction without close() models
+//     a crash: recovery falls back to checkpoint + WAL replay.
 #pragma once
 
 #include <cstdint>
@@ -94,9 +106,29 @@ struct TripReport {
   bool accepted() const { return outcome != IngestOutcome::kRejected; }
 };
 
+/// What open() recovered from durable state (DESIGN.md §14).
+struct RecoveryReport {
+  bool durable = false;            ///< durability enabled on this front end
+  bool checkpoint_loaded = false;  ///< a valid checkpoint seeded the state
+  std::uint64_t checkpoint_id = 0;
+  std::uint64_t replayed_trips = 0;       ///< WAL kTrip records re-applied
+  std::uint64_t replayed_time_marks = 0;  ///< watermark barriers re-applied
+  std::uint64_t duplicate_records = 0;    ///< skipped non-advancing seqs
+  std::uint64_t truncated_tail_bytes = 0; ///< torn/corrupt tail repaired
+  /// Per WAL segment, total durable kTrip records (checkpoint-covered +
+  /// replayed) — how many admitted uploads survived the crash.
+  std::vector<std::uint64_t> recovered_trips_per_segment;
+};
+
 class TrafficIngestor {
  public:
   virtual ~TrafficIngestor() = default;
+
+  /// Lifecycle (see header comment). Defaults are durability-off no-ops so
+  /// non-durable front ends and existing callers stay source-compatible.
+  virtual RecoveryReport open() { return {}; }
+  virtual std::uint64_t checkpoint() { return 0; }
+  virtual void close() {}
 
   virtual TripReport process_trip(const TripUpload& trip) = 0;
   virtual void advance_time(SimTime now) = 0;

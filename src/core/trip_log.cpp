@@ -1,0 +1,490 @@
+#include "core/trip_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace bussense {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'S', 'W', 'A', 'L', '0', '1', '\n'};
+constexpr std::size_t kFrameHeader = 8;  // u32 length + u32 crc
+
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table, and
+// table[k][b] = crc of byte b followed by k zero bytes — 8 bytes per loop
+// iteration instead of 1 on the append hot path.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      tables[k][i] =
+          tables[0][tables[k - 1][i] & 0xffu] ^ (tables[k - 1][i] >> 8);
+    }
+  }
+  return tables;
+}
+
+// Byte-wise little-endian stores into a pre-sized region: host-endianness
+// independent, and contiguous enough for the compiler to fuse into single
+// stores (the per-byte push_back form is not).
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  const std::size_t n = out.size();
+  out.resize(n + 2);
+  for (int i = 0; i < 2; ++i) {
+    out[n + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t n = out.size();
+  out.resize(n + 4);
+  for (int i = 0; i < 4; ++i) {
+    out[n + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t n = out.size();
+  out.resize(n + 8);
+  for (int i = 0; i < 8; ++i) {
+    out[n + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+// LEB128: 7 value bits per byte, high bit = continuation. Cell ids are
+// small integers, so this is 1–2 bytes against a fixed u32 — and WAL bytes
+// are what both the buffered write and the fsync dirty-data flush cost.
+std::size_t varint_size(std::uint32_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80u) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  while (v >= 0x80u) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// Bounds-checked little-endian reader over a byte span.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool u8(std::uint8_t* v) {
+    if (size - pos < 1) return false;
+    *v = data[pos++];
+    return true;
+  }
+  bool u16(std::uint16_t* v) {
+    if (size - pos < 2) return false;
+    *v = static_cast<std::uint16_t>(data[pos] |
+                                    (static_cast<std::uint16_t>(data[pos + 1])
+                                     << 8));
+    pos += 2;
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    if (size - pos < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(data[pos + static_cast<std::size_t>(i)])
+            << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (size - pos < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(data[pos + static_cast<std::size_t>(i)])
+            << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+  bool f64(double* v) {
+    std::uint64_t bits = 0;
+    if (!u64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof *v);
+    return true;
+  }
+  bool varint(std::uint32_t* v) {
+    *v = 0;
+    for (int shift = 0; shift < 35; shift += 7) {
+      if (pos >= size) return false;
+      const std::uint8_t byte = data[pos++];
+      if (shift == 28 && (byte & ~0x0fu)) return false;  // > 32 bits
+      *v |= static_cast<std::uint32_t>(byte & 0x7fu) << shift;
+      if (!(byte & 0x80u)) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::array<std::uint32_t, 256>, 8> t =
+      make_crc_tables();
+  std::uint32_t c = 0xffffffffu;
+  std::size_t i = 0;
+  for (; size - i >= 8; i += 8) {
+    std::uint32_t lo = 0;
+    std::memcpy(&lo, data + i, 4);  // little-endian hosts only (asserted
+    lo ^= c;                        // by the fixed-width wire format)
+    c = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^ t[5][(lo >> 16) & 0xffu] ^
+        t[4][lo >> 24] ^ t[3][data[i + 4]] ^ t[2][data[i + 5]] ^
+        t[1][data[i + 6]] ^ t[0][data[i + 7]];
+  }
+  for (; i < size; ++i) {
+    c = t[0][(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+namespace {
+
+std::size_t trip_payload_size(const TripUpload& trip) {
+  std::size_t n = 1 + 8 + 8 + 8 + 4 + 4;  // type|seq|sig|skew|participant|count
+  for (const CellularSample& sample : trip.samples) {
+    n += 8 + 2;
+    for (const CellId cell : sample.fingerprint.cells) {
+      n += varint_size(static_cast<std::uint32_t>(cell));
+    }
+  }
+  return n;
+}
+
+void encode_trip_payload(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                         std::uint64_t signature, double skew_offset_s,
+                         const TripUpload& trip) {
+  out.reserve(out.size() + trip_payload_size(trip));
+  out.push_back(static_cast<std::uint8_t>(WalRecordType::kTrip));
+  put_u64(out, seq);
+  put_u64(out, signature);
+  put_f64(out, skew_offset_s);
+  put_u32(out, static_cast<std::uint32_t>(trip.participant_id));
+  put_u32(out, static_cast<std::uint32_t>(trip.samples.size()));
+  for (const CellularSample& sample : trip.samples) {
+    put_f64(out, sample.time);
+    put_u16(out, static_cast<std::uint16_t>(sample.fingerprint.size()));
+    for (const CellId cell : sample.fingerprint.cells) {
+      put_varint(out, static_cast<std::uint32_t>(cell));
+    }
+  }
+}
+
+void encode_time_mark_payload(std::vector<std::uint8_t>& out,
+                              std::uint64_t seq, SimTime mark_time) {
+  out.reserve(out.size() + 1 + 8 + 8);
+  out.push_back(static_cast<std::uint8_t>(WalRecordType::kTimeMark));
+  put_u64(out, seq);
+  put_f64(out, mark_time);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_wal_payload(const WalRecord& record) {
+  std::vector<std::uint8_t> out;
+  if (record.type == WalRecordType::kTimeMark) {
+    encode_time_mark_payload(out, record.seq, record.mark_time);
+  } else {
+    encode_trip_payload(out, record.seq, record.signature,
+                        record.skew_offset_s, record.trip);
+  }
+  return out;
+}
+
+bool decode_wal_payload(const std::uint8_t* data, std::size_t size,
+                        WalRecord* out) {
+  Reader r{data, size};
+  std::uint8_t type = 0;
+  if (!r.u8(&type) || !r.u64(&out->seq)) return false;
+  if (type == static_cast<std::uint8_t>(WalRecordType::kTimeMark)) {
+    out->type = WalRecordType::kTimeMark;
+    return r.f64(&out->mark_time) && r.pos == size;
+  }
+  if (type != static_cast<std::uint8_t>(WalRecordType::kTrip)) return false;
+  out->type = WalRecordType::kTrip;
+  std::uint32_t participant = 0;
+  std::uint32_t n_samples = 0;
+  if (!r.u64(&out->signature) || !r.f64(&out->skew_offset_s) ||
+      !r.u32(&participant) || !r.u32(&n_samples)) {
+    return false;
+  }
+  out->trip.participant_id = static_cast<std::int32_t>(participant);
+  // A sample costs at least 10 bytes; a bit-flipped count must not drive a
+  // huge allocation before the bounds checks can catch it.
+  if (n_samples > (size - r.pos) / 10) return false;
+  out->trip.samples.clear();
+  out->trip.samples.reserve(n_samples);
+  for (std::uint32_t i = 0; i < n_samples; ++i) {
+    CellularSample sample;
+    std::uint16_t n_cells = 0;
+    if (!r.f64(&sample.time) || !r.u16(&n_cells)) return false;
+    if (n_cells > size - r.pos) return false;  // a cell varint is >= 1 byte
+    sample.fingerprint.cells.reserve(n_cells);
+    for (std::uint16_t c = 0; c < n_cells; ++c) {
+      std::uint32_t cell = 0;
+      if (!r.varint(&cell)) return false;
+      sample.fingerprint.cells.push_back(static_cast<CellId>(cell));
+    }
+    out->trip.samples.push_back(std::move(sample));
+  }
+  return r.pos == size;
+}
+
+WalScanResult scan_trip_log(const std::string& path, bool repair) {
+  WalScanResult result;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return result;  // missing file == empty log
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(is)),
+                                  std::istreambuf_iterator<char>());
+  is.close();
+
+  std::size_t pos = 0;
+  if (bytes.size() < sizeof kMagic ||
+      std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    // No valid header: the whole file is a torn tail (unless empty).
+    result.torn = !bytes.empty();
+    result.truncated_tail_bytes = bytes.size();
+  } else {
+    pos = sizeof kMagic;
+    std::uint64_t last_seq = 0;
+    while (pos < bytes.size()) {
+      const std::size_t remaining = bytes.size() - pos;
+      if (remaining < kFrameHeader) break;  // torn frame header
+      Reader header{bytes.data() + pos, kFrameHeader};
+      std::uint32_t length = 0, crc = 0;
+      header.u32(&length);
+      header.u32(&crc);
+      if (length > remaining - kFrameHeader) break;  // overruns the file
+      const std::uint8_t* payload = bytes.data() + pos + kFrameHeader;
+      if (crc32(payload, length) != crc) break;  // bit flip / torn payload
+      WalRecord record;
+      if (!decode_wal_payload(payload, length, &record)) break;
+      // A duplicated block replays already-seen seqs: skip, never re-apply.
+      if (record.seq > last_seq) {
+        last_seq = record.seq;
+        if (record.type == WalRecordType::kTrip) ++result.trip_records;
+        result.records.push_back(std::move(record));
+      } else {
+        ++result.duplicate_records;
+      }
+      pos += kFrameHeader + length;
+    }
+    result.next_seq = last_seq + 1;
+    if (pos < bytes.size()) {
+      result.torn = true;
+      result.truncated_tail_bytes = bytes.size() - pos;
+    }
+  }
+
+  if (repair && result.torn) {
+    if (::truncate(path.c_str(), static_cast<off_t>(pos)) != 0) {
+      throw std::runtime_error("trip log repair failed: " + path + ": " +
+                               std::strerror(errno));
+    }
+  }
+  return result;
+}
+
+// ------------------------------------------------------------ TripLogWriter
+
+TripLogWriter::TripLogWriter(std::string path, FsyncPolicy policy,
+                             std::uint64_t fsync_interval,
+                             std::uint64_t next_seq)
+    : path_(std::move(path)),
+      policy_(policy),
+      fsync_interval_(fsync_interval),
+      next_seq_(next_seq) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("cannot open trip log " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) == 0 && st.st_size == 0) {
+    if (::write(fd_, kMagic, sizeof kMagic) !=
+        static_cast<ssize_t>(sizeof kMagic)) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("cannot write trip log header: " + path_);
+    }
+  }
+}
+
+TripLogWriter::~TripLogWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; close() failures surface on explicit use.
+  }
+}
+
+TripLogWriter::AppendResult TripLogWriter::append(WalRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) throw std::runtime_error("append on closed trip log " + path_);
+  record.seq = next_seq_;
+  scratch_.clear();
+  scratch_.resize(kFrameHeader);  // length + crc filled in below
+  if (record.type == WalRecordType::kTimeMark) {
+    encode_time_mark_payload(scratch_, record.seq, record.mark_time);
+  } else {
+    encode_trip_payload(scratch_, record.seq, record.signature,
+                        record.skew_offset_s, record.trip);
+  }
+  return append_scratch_locked();
+}
+
+TripLogWriter::AppendResult TripLogWriter::append_trip(std::uint64_t signature,
+                                                       double skew_offset_s,
+                                                       const TripUpload& trip) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) throw std::runtime_error("append on closed trip log " + path_);
+  scratch_.clear();
+  scratch_.resize(kFrameHeader);
+  encode_trip_payload(scratch_, next_seq_, signature, skew_offset_s, trip);
+  return append_scratch_locked();
+}
+
+TripLogWriter::AppendResult TripLogWriter::append_time_mark(SimTime mark_time) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) throw std::runtime_error("append on closed trip log " + path_);
+  scratch_.clear();
+  scratch_.resize(kFrameHeader);
+  encode_time_mark_payload(scratch_, next_seq_, mark_time);
+  return append_scratch_locked();
+}
+
+// scratch_ holds 8 placeholder bytes followed by the payload (seq already
+// encoded as next_seq_). Frames, writes and applies the fsync policy.
+TripLogWriter::AppendResult TripLogWriter::append_scratch_locked() {
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(scratch_.size() - kFrameHeader);
+  const std::uint32_t crc = crc32(scratch_.data() + kFrameHeader, length);
+  for (int i = 0; i < 4; ++i) {
+    scratch_[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(length >> (8 * i));
+    scratch_[static_cast<std::size_t>(4 + i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  // Group commit: frames accumulate in buffer_ and reach the kernel in
+  // one write() per flush. sync_locked() flushes first, so the fsync
+  // policies keep their tail-loss bounds; the destructor's close() also
+  // flushes, so a scope-exit "crash" loses nothing the OS was given.
+  buffer_.insert(buffer_.end(), scratch_.begin(), scratch_.end());
+  ++appends_;
+  ++appends_since_sync_;
+  bytes_appended_ += scratch_.size();
+  AppendResult result{seq, scratch_.size(), false};
+  if (policy_ == FsyncPolicy::kEveryRecord ||
+      (policy_ == FsyncPolicy::kInterval &&
+       appends_since_sync_ >= fsync_interval_)) {
+    sync_locked();
+    result.synced = true;
+  } else if (buffer_.size() >= kFlushThreshold) {
+    flush_locked();
+  }
+  return result;
+}
+
+// Hands buffer_ to the kernel (no fsync).
+void TripLogWriter::flush_locked() {
+  std::size_t written = 0;
+  while (written < buffer_.size()) {
+    const ssize_t n = ::write(fd_, buffer_.data() + written,
+                              buffer_.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("trip log append failed: " + path_ + ": " +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  buffer_.clear();
+}
+
+void TripLogWriter::sync_locked() {
+  if (fd_ < 0 || appends_since_sync_ == 0) return;
+  flush_locked();
+#ifdef __linux__
+  // fdatasync still flushes the size change needed to read the appended
+  // bytes back; it skips only timestamps — cheaper on ext4.
+  if (::fdatasync(fd_) != 0) {
+#else
+  if (::fsync(fd_) != 0) {
+#endif
+    throw std::runtime_error("trip log fsync failed: " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  ++fsyncs_;
+  appends_since_sync_ = 0;
+}
+
+void TripLogWriter::sync() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sync_locked();
+}
+
+void TripLogWriter::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  sync_locked();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::uint64_t TripLogWriter::last_seq() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t TripLogWriter::appends() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return appends_;
+}
+
+std::uint64_t TripLogWriter::fsyncs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return fsyncs_;
+}
+
+std::uint64_t TripLogWriter::bytes_appended() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_appended_;
+}
+
+}  // namespace bussense

@@ -1,0 +1,932 @@
+// Durable ingest: write-ahead trip log + checkpoint/restore (DESIGN.md §14).
+//
+// The tentpole property: kill an ingestor mid-period at a randomized point,
+// recover from the latest checkpoint + WAL suffix, resume the feed — the
+// final fused TrafficMap must be byte-identical to an uninterrupted run,
+// across all four front ends with admission on and off. The fault half of
+// the suite attacks the log bytes directly: torn tails are truncated, CRC
+// failures end the scan, duplicated blocks are skipped, and a corrupt or
+// half-written checkpoint falls back to an older valid one — corruption is
+// never propagated into the fused state.
+//
+// Configure with -DBUSSENSE_SANITIZE=address,undefined to run this suite
+// under ASan+UBSan (scripts/tier1.sh BUSSENSE_DURABILITY=ON does).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/admission.h"
+#include "core/checkpoint.h"
+#include "core/concurrent_server.h"
+#include "core/ingest_service.h"
+#include "core/server.h"
+#include "core/stop_database.h"
+#include "core/trip_log.h"
+#include "obs/metrics.h"
+#include "trafficsim/world.h"
+
+namespace bussense {
+namespace {
+
+struct Testbed {
+  World world;
+  StopDatabase database;
+  std::vector<AnnotatedTrip> trips;
+
+  Testbed() {
+    Rng survey_rng(2024);
+    database = build_stop_database(
+        world.city(),
+        [&](StopId stop, int run) {
+          return world.scan_stop(stop, survey_rng, run % 2 == 1);
+        },
+        5);
+    Rng rng(77);
+    trips = world.simulate_day(0, 1.2, rng).trips;
+  }
+};
+
+const Testbed& testbed() {
+  static const Testbed bed;
+  return bed;
+}
+
+// Uploads the clean pipeline accepts, ordered by first-sample time so
+// interleaved advance_time() calls respect the ingestor contract.
+const std::vector<TripUpload>& sorted_uploads() {
+  static const std::vector<TripUpload> uploads = [] {
+    std::vector<TripUpload> out;
+    for (const AnnotatedTrip& trip : testbed().trips) {
+      if (!trip.upload.samples.empty()) out.push_back(trip.upload);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TripUpload& a, const TripUpload& b) {
+                       return a.samples.front().time < b.samples.front().time;
+                     });
+    return out;
+  }();
+  return uploads;
+}
+
+// Canonical byte rendering of a snapshot: segments in key order, every
+// float as %.17g — equal strings mean bit-identical fused maps (same idiom
+// as the ingest identity suite).
+std::string map_bytes(const TrafficMap& map) {
+  std::vector<MapSegment> segments = map.segments();
+  std::sort(segments.begin(), segments.end(),
+            [](const MapSegment& a, const MapSegment& b) {
+              return a.key.from != b.key.from ? a.key.from < b.key.from
+                                              : a.key.to < b.key.to;
+            });
+  std::string out;
+  char buf[160];
+  for (const MapSegment& s : segments) {
+    std::snprintf(buf, sizeof buf, "%d>%d %.17g %.17g %d %d;",
+                  static_cast<int>(s.key.from), static_cast<int>(s.key.to),
+                  s.speed_kmh, s.updated_at, s.observation_count,
+                  static_cast<int>(s.level));
+    out += buf;
+  }
+  return out;
+}
+
+// Fresh scratch directory per use; removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+
+  TempDir() {
+    static std::atomic<int> counter{0};
+    path = std::filesystem::temp_directory_path() /
+           ("bussense_test_durability_" +
+            std::to_string(counter.fetch_add(1)) + "_" +
+            std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(is),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::filesystem::path& p,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(p, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+// Admission arms disable skew re-anchoring: a corrected trip's samples are
+// shifted back to the watermark, handing the fusion estimates for periods
+// an earlier advance_time already closed — processing-order dependent by
+// design (admission.h), exactly as in the cross-shard identity suite. The
+// skew half of WAL replay has its own unit test below.
+ServerConfig base_config(bool admission_on) {
+  ServerConfig cfg;
+  cfg.admission.enabled = admission_on;
+  cfg.admission.max_clock_skew_s = 0.0;
+  return cfg;
+}
+
+ServerConfig durable_config(const std::string& dir, bool admission_on,
+                            FsyncPolicy policy = FsyncPolicy::kNever) {
+  ServerConfig cfg = base_config(admission_on);
+  cfg.durability.enabled = true;
+  cfg.durability.directory = dir;
+  cfg.durability.fsync = policy;
+  return cfg;
+}
+
+WalRecord trip_record(const TripUpload& upload) {
+  WalRecord r;
+  r.type = WalRecordType::kTrip;
+  r.trip = upload;
+  return r;
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(DurabilityConfigValidation, ThrowsOnNonsense) {
+  const Testbed& bed = testbed();
+  ServerConfig no_dir;
+  no_dir.durability.enabled = true;
+  EXPECT_THROW(TrafficServer(bed.world.city(), bed.database, no_dir),
+               std::invalid_argument);
+
+  TempDir dir;
+  ServerConfig zero_interval = durable_config(dir.str(), false);
+  zero_interval.durability.fsync = FsyncPolicy::kInterval;
+  zero_interval.durability.fsync_interval_records = 0;
+  EXPECT_THROW(TrafficServer(bed.world.city(), bed.database, zero_interval),
+               std::invalid_argument);
+
+  ServerConfig no_keep = durable_config(dir.str(), false);
+  no_keep.durability.checkpoints_kept = 0;
+  EXPECT_THROW(TrafficServer(bed.world.city(), bed.database, no_keep),
+               std::invalid_argument);
+
+  // Disabled durability ignores the other knobs entirely.
+  ServerConfig off;
+  off.durability.fsync_interval_records = 0;
+  TrafficServer ok(bed.world.city(), bed.database, off);
+  EXPECT_FALSE(ok.open().durable);
+}
+
+// ------------------------------------------------------------- WAL format
+
+TEST(WalPayload, RoundTripsAndEncodesDeterministically) {
+  const auto& uploads = sorted_uploads();
+  ASSERT_FALSE(uploads.empty());
+
+  WalRecord trip = trip_record(uploads[0]);
+  trip.seq = 7;
+  trip.signature = 0xdeadbeefcafef00dULL;
+  trip.skew_offset_s = -1.25;
+  const std::vector<std::uint8_t> bytes = encode_wal_payload(trip);
+  EXPECT_EQ(encode_wal_payload(trip), bytes);  // deterministic
+
+  WalRecord back;
+  ASSERT_TRUE(decode_wal_payload(bytes.data(), bytes.size(), &back));
+  EXPECT_EQ(back.type, WalRecordType::kTrip);
+  EXPECT_EQ(back.seq, 7u);
+  EXPECT_EQ(back.signature, trip.signature);
+  EXPECT_EQ(back.skew_offset_s, trip.skew_offset_s);
+  EXPECT_EQ(back.trip, trip.trip);
+
+  WalRecord mark;
+  mark.type = WalRecordType::kTimeMark;
+  mark.seq = 8;
+  mark.mark_time = 12345.675;
+  const std::vector<std::uint8_t> mbytes = encode_wal_payload(mark);
+  WalRecord mback;
+  ASSERT_TRUE(decode_wal_payload(mbytes.data(), mbytes.size(), &mback));
+  EXPECT_EQ(mback.type, WalRecordType::kTimeMark);
+  EXPECT_EQ(mback.seq, 8u);
+  EXPECT_EQ(mback.mark_time, mark.mark_time);
+
+  // Every strict prefix of a valid payload is rejected, never misdecoded.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    WalRecord ignored;
+    EXPECT_FALSE(decode_wal_payload(bytes.data(), n, &ignored)) << n;
+  }
+}
+
+TEST(TripLogWriter, SameInputYieldsByteIdenticalLogs) {
+  const auto& uploads = sorted_uploads();
+  const std::size_t n = std::min<std::size_t>(uploads.size(), 12);
+  TempDir dir;
+  const auto write_log = [&](const std::string& name) {
+    TripLogWriter writer((dir.path / name).string(), FsyncPolicy::kNever, 256,
+                         /*next_seq=*/1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto res = writer.append(trip_record(uploads[i]));
+      EXPECT_EQ(res.seq, i + 1);
+      EXPECT_GT(res.bytes, 0u);
+    }
+    WalRecord mark;
+    mark.type = WalRecordType::kTimeMark;
+    mark.mark_time = 4242.0;
+    writer.append(mark);
+    writer.close();
+  };
+  write_log("a.wal");
+  write_log("b.wal");
+  const auto a = read_bytes(dir.path / "a.wal");
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, read_bytes(dir.path / "b.wal"));
+
+  const WalScanResult scan = scan_trip_log((dir.path / "a.wal").string(),
+                                           /*repair=*/false);
+  EXPECT_FALSE(scan.torn);
+  ASSERT_EQ(scan.records.size(), n + 1);
+  EXPECT_EQ(scan.trip_records, n);
+  EXPECT_EQ(scan.next_seq, n + 2);
+  EXPECT_EQ(scan.duplicate_records, 0u);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(scan.records[i].seq, i + 1);
+    EXPECT_EQ(scan.records[i].trip, uploads[i]);
+  }
+  EXPECT_EQ(scan.records.back().type, WalRecordType::kTimeMark);
+
+  // A missing file is an empty log, not an error.
+  const WalScanResult missing =
+      scan_trip_log((dir.path / "nope.wal").string(), /*repair=*/false);
+  EXPECT_TRUE(missing.records.empty());
+  EXPECT_EQ(missing.next_seq, 1u);
+  EXPECT_FALSE(missing.torn);
+}
+
+// Every truncation point of the log yields the longest valid prefix;
+// repair shrinks the file so a subsequent scan is clean.
+TEST(WalScan, TornTailTruncationSweep) {
+  const auto& uploads = sorted_uploads();
+  const std::size_t n = std::min<std::size_t>(uploads.size(), 6);
+  TempDir dir;
+  const std::filesystem::path full = dir.path / "full.wal";
+  {
+    TripLogWriter writer(full.string(), FsyncPolicy::kNever, 256, 1);
+    for (std::size_t i = 0; i < n; ++i) writer.append(trip_record(uploads[i]));
+    writer.close();
+  }
+  const std::vector<std::uint8_t> bytes = read_bytes(full);
+  const WalScanResult clean = scan_trip_log(full.string(), /*repair=*/false);
+  ASSERT_EQ(clean.records.size(), n);
+
+  // Frame boundaries from the clean scan's payload sizes.
+  std::vector<std::size_t> boundary = {8};  // after the magic
+  for (const WalRecord& r : clean.records) {
+    boundary.push_back(boundary.back() + 8 + encode_wal_payload(r).size());
+  }
+  ASSERT_EQ(boundary.back(), bytes.size());
+
+  const std::filesystem::path cut_path = dir.path / "cut.wal";
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    write_bytes(cut_path,
+                std::vector<std::uint8_t>(bytes.begin(),
+                                          bytes.begin() +
+                                              static_cast<std::ptrdiff_t>(cut)));
+    const WalScanResult scan = scan_trip_log(cut_path.string(),
+                                             /*repair=*/true);
+    // Longest valid prefix: every whole frame at or before the cut.
+    std::size_t want = 0, want_end = 8;
+    while (want + 1 < boundary.size() && boundary[want + 1] <= cut) {
+      want_end = boundary[++want];
+    }
+    ASSERT_EQ(scan.records.size(), want) << "cut " << cut;
+    for (std::size_t i = 0; i < want; ++i) {
+      EXPECT_EQ(scan.records[i].seq, clean.records[i].seq) << "cut " << cut;
+      EXPECT_EQ(scan.records[i].trip, clean.records[i].trip) << "cut " << cut;
+    }
+    if (cut < 8) {
+      // Not even a magic: scanned as empty (and flagged torn when there
+      // are stray bytes).
+      EXPECT_EQ(scan.records.size(), 0u);
+    } else {
+      EXPECT_EQ(scan.torn, cut != want_end) << "cut " << cut;
+      EXPECT_EQ(scan.truncated_tail_bytes, cut - want_end) << "cut " << cut;
+      // Repair truncated the file to the valid prefix; a rescan is clean.
+      EXPECT_EQ(std::filesystem::file_size(cut_path), want_end)
+          << "cut " << cut;
+      const WalScanResult again =
+          scan_trip_log(cut_path.string(), /*repair=*/false);
+      EXPECT_FALSE(again.torn) << "cut " << cut;
+      EXPECT_EQ(again.records.size(), want) << "cut " << cut;
+      EXPECT_EQ(again.next_seq, scan.next_seq) << "cut " << cut;
+    }
+  }
+}
+
+// A flipped bit anywhere in the log never produces a record that differs
+// from the uncorrupted prefix — the CRC (or the decoder) ends the scan
+// first.
+TEST(WalScan, BitFlipsNeverPropagate) {
+  const auto& uploads = sorted_uploads();
+  const std::size_t n = std::min<std::size_t>(uploads.size(), 5);
+  TempDir dir;
+  const std::filesystem::path full = dir.path / "full.wal";
+  {
+    TripLogWriter writer(full.string(), FsyncPolicy::kNever, 256, 1);
+    for (std::size_t i = 0; i < n; ++i) writer.append(trip_record(uploads[i]));
+    writer.close();
+  }
+  const std::vector<std::uint8_t> bytes = read_bytes(full);
+  const WalScanResult clean = scan_trip_log(full.string(), /*repair=*/false);
+  ASSERT_EQ(clean.records.size(), n);
+  std::vector<std::vector<std::uint8_t>> clean_payloads;
+  for (const WalRecord& r : clean.records) {
+    clean_payloads.push_back(encode_wal_payload(r));
+  }
+
+  const std::filesystem::path flip_path = dir.path / "flip.wal";
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 7) {
+    for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      std::vector<std::uint8_t> corrupt = bytes;
+      corrupt[pos] ^= mask;
+      write_bytes(flip_path, corrupt);
+      const WalScanResult scan =
+          scan_trip_log(flip_path.string(), /*repair=*/false);
+      ASSERT_LE(scan.records.size(), clean.records.size())
+          << "pos " << pos << " mask " << int(mask);
+      for (std::size_t i = 0; i < scan.records.size(); ++i) {
+        EXPECT_EQ(encode_wal_payload(scan.records[i]), clean_payloads[i])
+            << "pos " << pos << " mask " << int(mask) << " record " << i;
+      }
+    }
+  }
+}
+
+TEST(WalScan, DuplicatedBlockIsSkippedNotReplayedTwice) {
+  const auto& uploads = sorted_uploads();
+  TempDir dir;
+  const std::filesystem::path log = dir.path / "dup.wal";
+  {
+    TripLogWriter writer(log.string(), FsyncPolicy::kNever, 256, 1);
+    writer.append(trip_record(uploads[0]));
+    writer.append(trip_record(uploads[1]));
+    writer.close();
+  }
+  std::vector<std::uint8_t> bytes = read_bytes(log);
+  // Frame 1 spans [8, 8 + 8 + payload_len) — the payload is fixed-width,
+  // so its encoded size is independent of the seq the writer stamped.
+  // Duplicate the frame in place: the classic doubled block from a buggy
+  // copy/restore.
+  const std::size_t frame1_end =
+      8 + 8 + encode_wal_payload(trip_record(uploads[0])).size();
+  std::vector<std::uint8_t> doubled(bytes.begin(),
+                                    bytes.begin() +
+                                        static_cast<std::ptrdiff_t>(frame1_end));
+  doubled.insert(doubled.end(),
+                 bytes.begin() + 8,
+                 bytes.begin() + static_cast<std::ptrdiff_t>(frame1_end));
+  doubled.insert(doubled.end(),
+                 bytes.begin() + static_cast<std::ptrdiff_t>(frame1_end),
+                 bytes.end());
+  write_bytes(log, doubled);
+
+  const WalScanResult scan = scan_trip_log(log.string(), /*repair=*/false);
+  EXPECT_FALSE(scan.torn);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].seq, 1u);
+  EXPECT_EQ(scan.records[1].seq, 2u);
+  EXPECT_EQ(scan.duplicate_records, 1u);
+  EXPECT_EQ(scan.next_seq, 3u);
+}
+
+// ------------------------------------------------------------- checkpoints
+
+TEST(Checkpoint, RoundTripsAndPicksNewestValid) {
+  const Testbed& bed = testbed();
+  const auto& uploads = sorted_uploads();
+  TempDir dir;
+
+  // Real state: a durable serial server part-way through the day.
+  TrafficServer server(bed.world.city(), bed.database,
+                       durable_config(dir.str(), true));
+  server.open();
+  for (std::size_t i = 0; i < std::min<std::size_t>(uploads.size(), 40); ++i) {
+    server.process_trip(uploads[i]);
+  }
+  const std::uint64_t id1 = server.checkpoint();
+  EXPECT_EQ(id1, 1u);
+  for (std::size_t i = 40; i < std::min<std::size_t>(uploads.size(), 60); ++i) {
+    server.process_trip(uploads[i]);
+  }
+  const std::uint64_t id2 = server.checkpoint();
+  EXPECT_EQ(id2, 2u);
+  server.close();
+
+  const auto loaded = load_latest_checkpoint(dir.str());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->id, 2u);
+  EXPECT_FALSE(loaded->state.fusion.empty());
+  ASSERT_EQ(loaded->state.covers_seq.size(), 1u);
+
+  // encode → decode → encode is byte-stable.
+  const auto bytes = encode_checkpoint(loaded->id, loaded->state);
+  std::uint64_t rid = 0;
+  CheckpointState rstate;
+  ASSERT_TRUE(decode_checkpoint(bytes.data(), bytes.size(), &rid, &rstate));
+  EXPECT_EQ(rid, loaded->id);
+  EXPECT_EQ(encode_checkpoint(rid, rstate), bytes);
+
+  // Every strict prefix fails to decode (no partial restores).
+  for (std::size_t cut : {std::size_t{0}, std::size_t{7}, std::size_t{9},
+                          bytes.size() / 2, bytes.size() - 1}) {
+    std::uint64_t ignored_id = 0;
+    CheckpointState ignored;
+    EXPECT_FALSE(decode_checkpoint(bytes.data(), cut, &ignored_id, &ignored))
+        << cut;
+  }
+
+  // Corrupt the newest file: loading falls back to the older checkpoint.
+  const std::filesystem::path newest =
+      dir.path / "checkpoint-00000000000000000002.ckpt";
+  ASSERT_TRUE(std::filesystem::exists(newest));
+  std::vector<std::uint8_t> corrupt = read_bytes(newest);
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  write_bytes(newest, corrupt);
+  const auto fallback = load_latest_checkpoint(dir.str());
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(fallback->id, 1u);
+
+  // A stray .tmp from a crash mid-checkpoint is never loaded.
+  write_bytes(dir.path / "checkpoint-00000000000000000009.tmp",
+              {1, 2, 3, 4});
+  EXPECT_EQ(load_latest_checkpoint(dir.str())->id, 1u);
+
+  // All checkpoints corrupt: recovery falls back to a full WAL replay.
+  const std::filesystem::path oldest =
+      dir.path / "checkpoint-00000000000000000001.ckpt";
+  write_bytes(oldest, {9, 9, 9});
+  EXPECT_FALSE(load_latest_checkpoint(dir.str()).has_value());
+}
+
+TEST(Checkpoint, PruneKeepsOnlyTheNewest) {
+  TempDir dir;
+  CheckpointState state;
+  state.covers_seq = {0};
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    save_checkpoint_file(dir.str(), id, state);
+  }
+  prune_checkpoints(dir.str(), 2);
+  std::size_t remaining = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir.path)) {
+    if (e.path().extension() == ".ckpt") ++remaining;
+  }
+  EXPECT_EQ(remaining, 2u);
+  EXPECT_EQ(load_latest_checkpoint(dir.str())->id, 5u);
+}
+
+// --------------------------------------------------------------- lifecycle
+
+TEST(DurableLifecycle, GuardsProcessTripOutsideOpenClose) {
+  const Testbed& bed = testbed();
+  const auto& uploads = sorted_uploads();
+  TempDir dir;
+  TrafficServer server(bed.world.city(), bed.database,
+                       durable_config(dir.str(), false));
+
+  // Before open(): rejected, not silently dropped.
+  const TripReport early = server.process_trip(uploads[0]);
+  EXPECT_EQ(early.outcome, IngestOutcome::kRejected);
+  EXPECT_EQ(early.reject_reason, RejectReason::kShutdown);
+
+  const RecoveryReport report = server.open();
+  EXPECT_TRUE(report.durable);
+  EXPECT_FALSE(report.checkpoint_loaded);
+  EXPECT_EQ(report.replayed_trips, 0u);
+
+  EXPECT_TRUE(server.process_trip(uploads[0]).accepted());
+  EXPECT_GT(server.checkpoint(), 0u);
+
+  server.close();
+  const TripReport late = server.process_trip(uploads[1]);
+  EXPECT_EQ(late.outcome, IngestOutcome::kRejected);
+  EXPECT_EQ(late.reject_reason, RejectReason::kShutdown);
+  EXPECT_EQ(server.checkpoint(), 0u);  // no checkpoints after close
+  server.close();                      // idempotent
+
+  // The durability instruments recorded the run.
+  const MetricsSnapshot ms = server.metrics().snapshot();
+  EXPECT_EQ(ms.counters.at("durability.appends"), 1u);
+  EXPECT_EQ(ms.counters.at("durability.checkpoints"), 1u);
+  EXPECT_GT(ms.counters.at("durability.bytes_appended"), 0u);
+}
+
+TEST(DurableLifecycle, AsyncServiceRejectsAtEnqueueOutsideOpenClose) {
+  const Testbed& bed = testbed();
+  const auto& uploads = sorted_uploads();
+  TempDir dir;
+  IngestServiceConfig manual;
+  manual.workers = 0;
+  manual.backpressure = IngestServiceConfig::Backpressure::kReject;
+  manual.queue_capacity = uploads.size() + 1;
+  IngestService service(bed.world.city(), bed.database,
+                        durable_config(dir.str(), false), manual);
+
+  EXPECT_EQ(service.process_trip(uploads[0]).reject_reason,
+            RejectReason::kShutdown);
+  service.open();
+  EXPECT_TRUE(service.process_trip(uploads[0]).accepted());
+  service.close();
+  EXPECT_EQ(service.process_trip(uploads[1]).reject_reason,
+            RejectReason::kShutdown);
+  EXPECT_EQ(service.trips_processed(), 1u);
+}
+
+// ------------------------------------------------- admission replay (skew)
+
+// The crash-identity suite above runs with skew re-anchoring off because
+// corrected estimates depend on where the flush boundaries fall. The WAL
+// still has to carry skew state through recovery, so exercise that half
+// directly: admit a skewed trip, feed the recorded AdmitInfo into a fresh
+// controller via note_replayed, and the exported states must match.
+TEST(AdmissionReplay, NoteReplayedRebuildsSkewAndDedupState) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  MetricsRegistry metrics;
+
+  AdmissionController reference(cfg);
+  reference.bind_metrics(&metrics);
+  reference.observe_time(at_clock(10, 0, 0));
+
+  // A trip whose last sample lands a full day past the watermark: well
+  // beyond max_clock_skew_s, so re-anchoring must fire.
+  TripUpload skewed;
+  skewed.participant_id = 7;
+  for (int i = 0; i < 5; ++i) {
+    CellularSample s;
+    s.time = at_clock(34, 0, 0) + 30.0 * i;
+    s.fingerprint.cells = {101, 202, 303};
+    skewed.samples.push_back(s);
+  }
+
+  TripUpload corrected;
+  const TripUpload* use = nullptr;
+  AdmitInfo info;
+  ASSERT_EQ(reference.admit(skewed, corrected, use, &info),
+            RejectReason::kNone);
+  EXPECT_NE(info.signature, 0u);
+  EXPECT_NE(info.skew_offset_s, 0.0);
+  ASSERT_EQ(use, &corrected);
+  EXPECT_EQ(corrected.samples.back().time,
+            skewed.samples.back().time - info.skew_offset_s);
+
+  // Replay path: a fresh controller fed the WAL facts, not the upload.
+  AdmissionController replayed(cfg);
+  replayed.observe_time(at_clock(10, 0, 0));
+  replayed.note_replayed(info.signature, skewed.participant_id,
+                         info.skew_offset_s);
+
+  const AdmissionCheckpoint ref_state = reference.export_state();
+  const AdmissionCheckpoint rep_state = replayed.export_state();
+  EXPECT_EQ(ref_state.lru_oldest_first, rep_state.lru_oldest_first);
+  EXPECT_EQ(ref_state.skew_offsets, rep_state.skew_offsets);
+  EXPECT_EQ(ref_state.have_watermark, rep_state.have_watermark);
+  EXPECT_EQ(ref_state.watermark, rep_state.watermark);
+  ASSERT_EQ(rep_state.skew_offsets.size(), 1u);
+  EXPECT_EQ(rep_state.skew_offsets[0].first, 7);
+  EXPECT_EQ(rep_state.skew_offsets[0].second, info.skew_offset_s);
+
+  // With identical state, the replayed controller dedup-rejects the same
+  // upload and re-applies the same offset to the participant's next trip.
+  AdmitInfo dup_info;
+  EXPECT_EQ(replayed.admit(skewed, corrected, use, &dup_info),
+            RejectReason::kDuplicate);
+
+  // export → restore → export round-trips exactly.
+  AdmissionController restored(cfg);
+  restored.restore_state(ref_state);
+  const AdmissionCheckpoint round = restored.export_state();
+  EXPECT_EQ(round.lru_oldest_first, ref_state.lru_oldest_first);
+  EXPECT_EQ(round.skew_offsets, ref_state.skew_offsets);
+  EXPECT_EQ(round.have_watermark, ref_state.have_watermark);
+  EXPECT_EQ(round.watermark, ref_state.watermark);
+}
+
+// ---------------------------------------------------- crash-recovery suite
+
+enum class FrontEnd { kSerial, kConcurrent, kService, kSharded };
+
+constexpr std::size_t kShards = 3;
+
+const char* name_of(FrontEnd fe) {
+  switch (fe) {
+    case FrontEnd::kSerial: return "serial";
+    case FrontEnd::kConcurrent: return "concurrent";
+    case FrontEnd::kService: return "service";
+    case FrontEnd::kSharded: return "sharded";
+  }
+  return "?";
+}
+
+std::unique_ptr<TrafficIngestor> make_front_end(FrontEnd fe,
+                                                const ServerConfig& cfg) {
+  const Testbed& bed = testbed();
+  switch (fe) {
+    case FrontEnd::kSerial:
+      return std::make_unique<TrafficServer>(bed.world.city(), bed.database,
+                                             cfg);
+    case FrontEnd::kConcurrent:
+      return std::make_unique<ConcurrentTrafficServer>(bed.world.city(),
+                                                       bed.database, cfg);
+    case FrontEnd::kService: {
+      IngestServiceConfig manual;
+      manual.workers = 0;  // manual mode: deterministic processing order
+      manual.backpressure = IngestServiceConfig::Backpressure::kReject;
+      manual.queue_capacity = sorted_uploads().size() + 1;
+      return std::make_unique<IngestService>(bed.world.city(), bed.database,
+                                             cfg, manual);
+    }
+    case FrontEnd::kSharded: {
+      ShardedIngestConfig svc;
+      svc.shards = kShards;
+      svc.ring_capacity = 64;
+      return std::make_unique<ShardedIngestService>(bed.world.city(),
+                                                    bed.database, cfg, svc);
+    }
+  }
+  return nullptr;
+}
+
+// The uninterrupted reference: same front end, durability off, one
+// advance_time at the mid-feed barrier and one at the end.
+std::string reference_map_bytes(FrontEnd fe, bool admission_on,
+                                std::size_t adv_index, SimTime end) {
+  const auto& uploads = sorted_uploads();
+  auto ingestor = make_front_end(fe, base_config(admission_on));
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    if (i == adv_index) {
+      ingestor->advance_time(uploads[adv_index].samples.front().time);
+    }
+    EXPECT_TRUE(ingestor->process_trip(uploads[i]).accepted());
+  }
+  ingestor->advance_time(end);
+  return map_bytes(ingestor->snapshot(end, kDay));
+}
+
+// One crash-recovery run: feed to a randomized kill point (advancing time
+// at a barrier on the way, optionally checkpointing, optionally tearing
+// the log tail after the kill), destroy without close() — a crash — then
+// recover into a fresh instance and resume the feed. The final map must be
+// byte-identical to the uninterrupted serial reference (all front ends
+// fuse bit-identically to it — the ingest identity suite).
+void run_crash_recovery_case(FrontEnd fe, bool admission_on, int variant,
+                             std::uint64_t seed, const std::string& expected) {
+  const auto& uploads = sorted_uploads();
+  ASSERT_GT(uploads.size(), 40u);
+  const SimTime end = at_clock(1, 0, 0);
+  Rng rng(seed);
+
+  const std::size_t adv_index = uploads.size() / 3;
+  const std::size_t cut = adv_index + 4 +
+                          static_cast<std::size_t>(rng.uniform_int(
+                              0, static_cast<int>(uploads.size() / 2)));
+  const bool with_checkpoint = variant == 0;
+  const bool tear_tail = variant == 1;
+  const bool fake_mid_checkpoint_crash = variant == 2;
+  const std::size_t checkpoint_at =
+      adv_index + 1 +
+      static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(cut - adv_index) - 3));
+
+  const std::string label = std::string(name_of(fe)) + ", admission " +
+                            (admission_on ? "on" : "off") + ", variant " +
+                            std::to_string(variant) + ", cut " +
+                            std::to_string(cut);
+  ASSERT_FALSE(expected.empty()) << label;
+
+  TempDir dir;
+  const ServerConfig cfg = durable_config(dir.str(), admission_on);
+
+  {  // The doomed run: destroyed without close() — a crash.
+    auto crashed = make_front_end(fe, cfg);
+    const RecoveryReport fresh = crashed->open();
+    EXPECT_TRUE(fresh.durable) << label;
+    EXPECT_FALSE(fresh.checkpoint_loaded) << label;
+    for (std::size_t i = 0; i < cut; ++i) {
+      if (i == adv_index) {
+        crashed->advance_time(uploads[adv_index].samples.front().time);
+      }
+      if (with_checkpoint && i == checkpoint_at) {
+        EXPECT_GT(crashed->checkpoint(), 0u) << label;
+      }
+      ASSERT_TRUE(crashed->process_trip(uploads[i]).accepted()) << label;
+    }
+  }
+
+  if (tear_tail) {
+    // Lose the last few bytes of one WAL segment — the torn records must
+    // be re-fed, not resurrected from garbage.
+    std::filesystem::path victim;
+    std::uintmax_t largest = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir.path)) {
+      if (e.path().extension() == ".wal" && e.file_size() > largest) {
+        largest = e.file_size();
+        victim = e.path();
+      }
+    }
+    ASSERT_FALSE(victim.empty()) << label;
+    const std::uintmax_t chop =
+        static_cast<std::uintmax_t>(rng.uniform_int(1, 40));
+    std::filesystem::resize_file(victim, largest - chop);
+  }
+  if (fake_mid_checkpoint_crash) {
+    // Artifacts of a crash inside checkpoint(): a garbage .ckpt and a
+    // half-written .tmp. Recovery must skip both.
+    write_bytes(dir.path / "checkpoint-00000000000000009999.ckpt",
+                {0xde, 0xad, 0xbe, 0xef});
+    write_bytes(dir.path / "checkpoint-00000000000000000003.tmp", {1, 2});
+  }
+
+  auto recovered = make_front_end(fe, cfg);
+  const RecoveryReport report = recovered->open();
+  EXPECT_TRUE(report.durable) << label;
+  EXPECT_EQ(report.checkpoint_loaded, with_checkpoint) << label;
+  if (!with_checkpoint) {
+    // The checkpoint covers the mid-feed barrier's marks; without one they
+    // are replayed to restore the admission watermark.
+    EXPECT_GT(report.replayed_time_marks, 0u) << label;
+  }
+  const std::size_t segments = fe == FrontEnd::kSharded ? kShards : 1;
+  ASSERT_EQ(report.recovered_trips_per_segment.size(), segments) << label;
+  std::uint64_t recovered_total = 0;
+  for (const std::uint64_t r : report.recovered_trips_per_segment) {
+    recovered_total += r;
+  }
+  // Everything accepted before the crash survived — except, with a torn
+  // tail, the trailing record(s) chopped off, which are re-fed below.
+  EXPECT_LE(recovered_total, cut) << label;
+  if (!tear_tail) {
+    EXPECT_EQ(recovered_total, cut) << label;
+  }
+
+  // Resume: skip the first recovered_trips_per_segment[s] uploads of each
+  // segment's feed subsequence (they are already durable), re-feed the
+  // rest — including any torn-tail losses.
+  auto* sharded = dynamic_cast<ShardedIngestService*>(recovered.get());
+  std::vector<std::uint64_t> seen(segments, 0);
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    const std::size_t seg =
+        sharded ? sharded->shard_of(uploads[i].participant_id) : 0;
+    if (seen[seg]++ < report.recovered_trips_per_segment[seg]) continue;
+    ASSERT_TRUE(recovered->process_trip(uploads[i]).accepted()) << label;
+  }
+  recovered->advance_time(end);
+  EXPECT_EQ(map_bytes(recovered->snapshot(end, kDay)), expected) << label;
+  recovered->close();
+}
+
+TEST(CrashRecovery, ByteIdenticalAcrossFrontEndsAdmissionAndKillPoints) {
+  const SimTime end = at_clock(1, 0, 0);
+  const std::size_t adv_index = sorted_uploads().size() / 3;
+  const std::string expected_off =
+      reference_map_bytes(FrontEnd::kSerial, false, adv_index, end);
+  const std::string expected_on =
+      reference_map_bytes(FrontEnd::kSerial, true, adv_index, end);
+
+  std::uint64_t seed = 5150;
+  for (const FrontEnd fe : {FrontEnd::kSerial, FrontEnd::kConcurrent,
+                            FrontEnd::kService, FrontEnd::kSharded}) {
+    for (const bool admission_on : {false, true}) {
+      const int variant = static_cast<int>(seed % 3);
+      run_crash_recovery_case(fe, admission_on, variant, seed,
+                              admission_on ? expected_on : expected_off);
+      ++seed;
+    }
+  }
+}
+
+// Crash at the extremes: before any upload and after the whole feed.
+TEST(CrashRecovery, EmptyAndCompleteLogsRecover) {
+  const auto& uploads = sorted_uploads();
+  const SimTime end = at_clock(1, 0, 0);
+  const std::string expected =
+      reference_map_bytes(FrontEnd::kSerial, true, uploads.size() / 3, end);
+
+  TempDir dir;
+  const ServerConfig cfg = durable_config(dir.str(), true);
+  {  // Crash before processing anything.
+    auto crashed = make_front_end(FrontEnd::kSerial, cfg);
+    crashed->open();
+  }
+  {  // Recover the empty log, run the full feed, crash at the very end.
+    auto full = make_front_end(FrontEnd::kSerial, cfg);
+    const RecoveryReport empty = full->open();
+    EXPECT_EQ(empty.replayed_trips, 0u);
+    for (std::size_t i = 0; i < uploads.size(); ++i) {
+      if (i == uploads.size() / 3) {
+        full->advance_time(uploads[uploads.size() / 3].samples.front().time);
+      }
+      ASSERT_TRUE(full->process_trip(uploads[i]).accepted());
+    }
+  }
+  auto recovered = make_front_end(FrontEnd::kSerial, cfg);
+  const RecoveryReport report = recovered->open();
+  EXPECT_EQ(report.replayed_trips, uploads.size());
+  recovered->advance_time(end);
+  EXPECT_EQ(map_bytes(recovered->snapshot(end, kDay)), expected);
+  recovered->close();
+}
+
+// The write-ahead property itself: a record that reached the log but whose
+// effects never reached fusion (crash between append and apply) is
+// recovered. Emulated by appending one extra record directly.
+TEST(CrashRecovery, AppendedButUnappliedTripIsRecovered) {
+  const auto& uploads = sorted_uploads();
+  const SimTime end = at_clock(1, 0, 0);
+  const std::size_t cut = uploads.size() / 2;
+  const std::string expected =
+      reference_map_bytes(FrontEnd::kSerial, false, uploads.size() / 3, end);
+
+  TempDir dir;
+  const ServerConfig cfg = durable_config(dir.str(), false);
+  {
+    auto crashed = make_front_end(FrontEnd::kSerial, cfg);
+    crashed->open();
+    for (std::size_t i = 0; i < cut; ++i) {
+      if (i == uploads.size() / 3) {
+        crashed->advance_time(uploads[uploads.size() / 3].samples.front().time);
+      }
+      ASSERT_TRUE(crashed->process_trip(uploads[i]).accepted());
+    }
+  }
+  {  // The upload at `cut` made the log but never touched fusion.
+    const std::string segment = (dir.path / "trips-0000.wal").string();
+    const WalScanResult scan = scan_trip_log(segment, /*repair=*/true);
+    TripLogWriter writer(segment, FsyncPolicy::kNever, 256, scan.next_seq);
+    writer.append(trip_record(uploads[cut]));
+    writer.close();
+  }
+  auto recovered = make_front_end(FrontEnd::kSerial, cfg);
+  const RecoveryReport report = recovered->open();
+  EXPECT_EQ(report.recovered_trips_per_segment.at(0), cut + 1);
+  for (std::size_t i = cut + 1; i < uploads.size(); ++i) {
+    ASSERT_TRUE(recovered->process_trip(uploads[i]).accepted());
+  }
+  recovered->advance_time(end);
+  EXPECT_EQ(map_bytes(recovered->snapshot(end, kDay)), expected);
+  recovered->close();
+}
+
+// Recovery of the fsync'd policies goes through the same code path; one
+// smoke arm each to pin the policies' append metadata.
+TEST(CrashRecovery, FsyncPoliciesRecoverIdentically) {
+  const auto& uploads = sorted_uploads();
+  const SimTime end = at_clock(1, 0, 0);
+  const std::size_t cut = uploads.size() / 4;
+  const std::string expected =
+      reference_map_bytes(FrontEnd::kSerial, false, uploads.size() / 3, end);
+
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kInterval, FsyncPolicy::kEveryRecord}) {
+    TempDir dir;
+    ServerConfig cfg = durable_config(dir.str(), false, policy);
+    cfg.durability.fsync_interval_records = 8;
+    {
+      auto crashed = make_front_end(FrontEnd::kSerial, cfg);
+      crashed->open();
+      for (std::size_t i = 0; i < cut; ++i) {
+        ASSERT_TRUE(crashed->process_trip(uploads[i]).accepted());
+      }
+      if (policy == FsyncPolicy::kEveryRecord) {
+        const MetricsSnapshot ms = crashed->metrics().snapshot();
+        EXPECT_GE(ms.counters.at("durability.fsyncs"), cut);
+      }
+    }
+    auto recovered = make_front_end(FrontEnd::kSerial, cfg);
+    const RecoveryReport report = recovered->open();
+    EXPECT_EQ(report.replayed_trips, cut) << to_string(policy);
+    for (std::size_t i = cut; i < uploads.size(); ++i) {
+      if (i == uploads.size() / 3) {
+        recovered->advance_time(
+            uploads[uploads.size() / 3].samples.front().time);
+      }
+      ASSERT_TRUE(recovered->process_trip(uploads[i]).accepted());
+    }
+    recovered->advance_time(end);
+    EXPECT_EQ(map_bytes(recovered->snapshot(end, kDay)), expected)
+        << to_string(policy);
+    recovered->close();
+  }
+}
+
+}  // namespace
+}  // namespace bussense

@@ -448,6 +448,117 @@ TEST(QueryService, RegionAggregatesMatchWholeMapStatistics) {
   EXPECT_LE(left.segments_live, whole.segments_live);
 }
 
+// ------------------------------------------------------- k-nearest queries
+
+// Brute-force oracle: scan every catalogued segment, keep the live ones,
+// sort by (distance, key) and take k — the ring walk must match this
+// bit-for-bit, including the computed distances.
+std::vector<NearestSegment> brute_force_k_nearest(const EpochPublisher& pub,
+                                                  const EpochSnapshot& snap,
+                                                  Point p, std::size_t k) {
+  std::vector<NearestSegment> all;
+  for (std::uint32_t o = 0; o < pub.geometry().size(); ++o) {
+    const SegmentGeometry::Entry& e = pub.geometry().entry(o);
+    const MapSegment* live = snap.segment(e.key);
+    if (!live) continue;
+    all.push_back({*live, e.midpoint, distance(p, e.midpoint)});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const NearestSegment& a, const NearestSegment& b) {
+              if (a.distance_m != b.distance_m) {
+                return a.distance_m < b.distance_m;
+              }
+              if (a.segment.key.from != b.segment.key.from) {
+                return a.segment.key.from < b.segment.key.from;
+              }
+              return a.segment.key.to < b.segment.key.to;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void expect_nearest_identical(const std::vector<NearestSegment>& got,
+                              const std::vector<NearestSegment>& want,
+                              const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].segment.key, want[i].segment.key) << label << " row " << i;
+    EXPECT_EQ(got[i].distance_m, want[i].distance_m) << label << " row " << i;
+    EXPECT_EQ(got[i].midpoint.x, want[i].midpoint.x) << label << " row " << i;
+    EXPECT_EQ(got[i].midpoint.y, want[i].midpoint.y) << label << " row " << i;
+    EXPECT_EQ(got[i].segment.speed_kmh, want[i].segment.speed_kmh)
+        << label << " row " << i;
+    EXPECT_EQ(got[i].segment.updated_at, want[i].segment.updated_at)
+        << label << " row " << i;
+    EXPECT_EQ(got[i].segment.observation_count,
+              want[i].segment.observation_count)
+        << label << " row " << i;
+  }
+}
+
+// The ring walk must agree with the brute-force oracle for random query
+// points inside the city box, outside it (clamping only shrinks per-axis
+// distances, so the pruning bound stays valid), and at several k including
+// k larger than the live-segment count.
+TEST(KNearestLiveSegments, BitIdenticalToBruteForceSweep) {
+  const PrimedServer primed;
+  EpochPublisher pub(primed.server.catalog());
+  primed.server.publish_epoch(pub, primed.now);
+  QueryService svc(pub);
+  const EpochPublisher::Pin pin = pub.pin();
+  ASSERT_TRUE(pin);
+  ASSERT_GT(pin->live_segments(), 10u);
+
+  const BoundingBox& box = pub.geometry().region();
+  Rng rng(4242);
+  std::vector<Point> points;
+  for (int i = 0; i < 40; ++i) {  // interior
+    points.push_back({rng.uniform(box.min.x, box.max.x),
+                      rng.uniform(box.min.y, box.max.y)});
+  }
+  const double w = box.max.x - box.min.x, h = box.max.y - box.min.y;
+  for (int i = 0; i < 20; ++i) {  // exterior, up to half a box-size away
+    points.push_back({rng.uniform(box.min.x - 0.5 * w, box.max.x + 0.5 * w),
+                      rng.uniform(box.min.y - 0.5 * h, box.max.y + 0.5 * h)});
+  }
+  points.push_back(box.min);  // corners and just-past-corner extremes
+  points.push_back(box.max);
+  points.push_back({box.min.x - 3.0 * w, box.max.y + 2.0 * h});
+
+  for (const Point& p : points) {
+    for (const std::size_t k :
+         {std::size_t{1}, std::size_t{3}, std::size_t{17},
+          pin->live_segments(), pin->live_segments() + 64}) {
+      const auto want = brute_force_k_nearest(pub, *pin, p, k);
+      const std::string label = "p=(" + std::to_string(p.x) + "," +
+                                std::to_string(p.y) +
+                                ") k=" + std::to_string(k);
+      expect_nearest_identical(pin->k_nearest(p, k), want, label);
+
+      const KNearestResult via_service = svc.k_nearest_live_segments(p, k);
+      EXPECT_EQ(via_service.epoch_id, 1u) << label;
+      EXPECT_EQ(via_service.epoch_time, primed.now) << label;
+      expect_nearest_identical(via_service.nearest, want, label + " (svc)");
+    }
+  }
+
+  // k = 0 and the pre-publish/no-epoch path are well-defined empties.
+  EXPECT_TRUE(pin->k_nearest(points.front(), 0).empty());
+  const auto counters = svc.metrics().snapshot().counters;
+  EXPECT_GT(counters.at("queries.knearest"), 0u);
+}
+
+TEST(KNearestLiveSegments, BeforeFirstPublishIsEmpty) {
+  const Testbed& bed = testbed();
+  const SegmentCatalog catalog(bed.world.city());
+  EpochPublisher pub(catalog);
+  QueryService svc(pub);
+  const KNearestResult r = svc.k_nearest_live_segments(0.0, 0.0, 5);
+  EXPECT_EQ(r.epoch_id, 0u);
+  EXPECT_TRUE(r.nearest.empty());
+  EXPECT_EQ(svc.metrics().snapshot().counters.at("queries.no_epoch"), 1u);
+}
+
 // --------------------------------------------------------- pin/retire rules
 
 TEST(EpochPublisher, PinnedEpochSurvivesLaterPublishes) {
