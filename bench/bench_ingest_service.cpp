@@ -23,6 +23,8 @@
 // Emits BENCH_ingest.json with all five.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <thread>
@@ -32,6 +34,8 @@
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "core/ingest_service.h"
+#include "core/workload_replay.h"
+#include "trafficsim/lod_world.h"
 
 namespace bussense::bench {
 namespace {
@@ -207,6 +211,156 @@ std::pair<double, double> serial_on_off_trips_per_s(int rounds) {
   return {best_on, best_off};
 }
 
+// ------------------------------------------------------- LOD city-week
+
+/// The tiered-fidelity metropolis workload (DESIGN.md §15): a city-week of
+/// rider trips generated by LodWorld and replayed through the sharded
+/// ingest tier. Three things are measured and recorded:
+///
+///   1. determinism — the day-0 trip stream digested at 1/2/4/8 simulation
+///      threads, and the full week digested twice with the same seed at
+///      different thread counts, must be bit-identical (the acceptance
+///      contract of the generator);
+///   2. the rush-hour load ladder — the weekly demand multiplier at the
+///      hours a deployment cares about, weekday vs weekend, plus per-day
+///      trip volumes;
+///   3. replay throughput — trips/s sustained by ShardedIngestService over
+///      the whole week, with the admission stage enabled.
+///
+/// BUSSENSE_LOD_RIDERS overrides the metropolis size (default 1M; CI's
+/// fast tier sets it low, scripts/tier1.sh's BUSSENSE_LOD stage runs the
+/// full million).
+void lod_report(JsonReport& json) {
+  std::int64_t riders = 1'000'000;
+  if (const char* env = std::getenv("BUSSENSE_LOD_RIDERS")) {
+    riders = std::atoll(env);
+  }
+  if (riders <= 0) {
+    std::cout << "lod cityweek: skipped (BUSSENSE_LOD_RIDERS=0)\n";
+    return;
+  }
+  print_banner(std::cout, "LOD metropolis: deterministic city-week");
+
+  const Testbed& bed = testbed();
+  LodConfig lod_config;
+  const LodWorld lod(bed.world, riders, lod_config);
+  const LodCensus& census = lod.census();
+  std::cout << "metropolis: riders=" << census.riders
+            << " focus=" << census.focus << " event=" << census.event
+            << " onrails=" << census.on_rails << "\n";
+
+  // 1a. Day-0 thread ladder: same stream at every thread count.
+  std::vector<std::uint64_t> day0_digests;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    day0_digests.push_back(LodWorld::stream_digest(lod.simulate_day(0, &pool)));
+  }
+  bool day0_identical = true;
+  for (const std::uint64_t d : day0_digests) {
+    day0_identical = day0_identical && d == day0_digests.front();
+  }
+  std::cout << "day-0 digest @1/2/4/8 threads: " << std::hex
+            << day0_digests.front() << std::dec
+            << (day0_identical ? " (bit-identical)" : " MISMATCH") << "\n";
+
+  // 1b + 3. Week run A (8 threads): digest each day, replay it through the
+  // sharded service, then free it — the week never lives in memory whole.
+  ShardedIngestConfig sharding;
+  sharding.shards = 4;
+  ServerConfig server_config;
+  server_config.admission.enabled = true;
+  ShardedIngestService service(bed.world.city(), bed.database, server_config,
+                               sharding);
+  ThreadPool pool_a(8);
+  std::vector<std::uint64_t> week_a;
+  std::vector<std::size_t> day_trips;
+  std::uint64_t accepted = 0, submitted = 0;
+  double replay_s = 0.0, generate_s = 0.0;
+  for (int day = 0; day < 7; ++day) {
+    const auto gen_start = std::chrono::steady_clock::now();
+    const std::vector<LodTrip> trips = lod.simulate_day(day, &pool_a);
+    generate_s += seconds_since(gen_start);
+    week_a.push_back(LodWorld::stream_digest(trips));
+    day_trips.push_back(trips.size());
+    std::vector<TimedUpload> workload;
+    workload.reserve(trips.size());
+    for (const LodTrip& t : trips) {
+      workload.push_back(TimedUpload{t.trip.upload, t.arrival});
+    }
+    ReplayOptions options;
+    options.advance_every_s = 900.0;
+    const auto start = std::chrono::steady_clock::now();
+    const ReplayStats stats = replay_workload(service, workload, options);
+    replay_s += seconds_since(start);
+    submitted += stats.submitted;
+    accepted += stats.accepted;
+  }
+  const double replay_tps =
+      static_cast<double>(submitted) / std::max(replay_s, 1e-9);
+  std::cout << "week: " << submitted << " trips generated in "
+            << Fmt::fixed(generate_s, 1) << " s, replayed at "
+            << Fmt::fixed(replay_tps, 0) << " trips/s (accepted " << accepted
+            << "/" << submitted << ")\n";
+
+  // 1c. Week run B, same seed, different thread count: per-day digests
+  // must match run A's exactly.
+  ThreadPool pool_b(3);
+  bool week_identical = true;
+  for (int day = 0; day < 7; ++day) {
+    week_identical =
+        week_identical &&
+        LodWorld::stream_digest(lod.simulate_day(day, &pool_b)) == week_a[day];
+  }
+  std::cout << "week re-run (same seed, 3 threads): "
+            << (week_identical ? "bit-identical" : "MISMATCH") << "\n";
+
+  // 2. The rush-hour load ladder, weekday vs weekend.
+  const int ladder_hours[] = {6, 7, 8, 9, 12, 17, 18, 19, 22};
+  Table lt({"hour", "weekday load", "weekend load"});
+  std::ostringstream lrows;
+  bool lfirst = true;
+  for (const int hour : ladder_hours) {
+    const double weekday = lod.load_factor(at_clock(0, hour));
+    const double weekend = lod.load_factor(at_clock(5, hour));
+    lt.add_row({std::to_string(hour) + ":00", Fmt::fixed(weekday, 3),
+                Fmt::fixed(weekend, 3)});
+    if (!lfirst) lrows << ", ";
+    lfirst = false;
+    lrows << "{\"hour\": " << hour << ", \"weekday\": " << num(weekday)
+          << ", \"weekend\": " << num(weekend) << "}";
+  }
+  lt.print(std::cout);
+
+  std::ostringstream drows;
+  for (std::size_t day = 0; day < day_trips.size(); ++day) {
+    if (day > 0) drows << ", ";
+    drows << day_trips[day];
+  }
+  json.field(
+      "\"lod_cityweek\": {\"riders\": " + std::to_string(riders) +
+      ", \"focus\": " + std::to_string(census.focus) +
+      ", \"event\": " + std::to_string(census.event) +
+      ", \"onrails\": " + std::to_string(census.on_rails) +
+      ", \"trips\": " + std::to_string(submitted) +
+      ", \"accepted\": " + std::to_string(accepted) +
+      ", \"trips_per_day\": [" + drows.str() + "]" +
+      ", \"day0_digest\": \"" + [&] {
+        std::ostringstream os;
+        os << std::hex << day0_digests.front();
+        return os.str();
+      }() + "\", \"thread_ladder_identical\": " +
+      (day0_identical ? "true" : "false") +
+      ", \"week_rerun_identical\": " + (week_identical ? "true" : "false") +
+      ", \"generate_s\": " + num(generate_s) +
+      ", \"replay_trips_per_s\": " + num(replay_tps) +
+      ", \"load_ladder\": [" + lrows.str() + "]}");
+
+  if (!day0_identical || !week_identical) {
+    std::cerr << "LOD determinism violation — digests diverged\n";
+    std::exit(1);
+  }
+}
+
 void report() {
   JsonReport json;
   const std::size_t n_trips = bench_trips().size();
@@ -289,6 +443,8 @@ void report() {
   wt.print(std::cout);
   std::cout << "contract: kInterval overhead <= 10% (recommended setting)\n";
   json.field("\"wal_policy\": [" + wrows.str() + "]");
+
+  lod_report(json);
 
   json.write("BENCH_ingest.json");
   std::cout << "wrote BENCH_ingest.json\n";

@@ -22,6 +22,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -31,6 +33,8 @@
 #include "core/epoch_publisher.h"
 #include "core/ingest_service.h"
 #include "core/query_service.h"
+#include "core/workload_replay.h"
+#include "trafficsim/lod_world.h"
 
 namespace bussense::bench {
 namespace {
@@ -187,6 +191,78 @@ double run_ingest(bool readers_on, int readers = 8) {
   return static_cast<double>(trips.size()) / std::max(elapsed, 1e-9);
 }
 
+// A day-0 slice of the LOD metropolis (DESIGN.md §15) replayed through the
+// sharded ingest tier with epoch publishes on the advance cadence, then
+// served from the resulting epoch — the serving tier read against a city
+// map built from tiered-fidelity trips instead of the 240-trip testbed.
+// BUSSENSE_LOD_RIDERS overrides the population (0 skips; the full
+// city-week determinism run lives in bench_ingest_service).
+void lod_report(JsonReport& json) {
+  std::int64_t riders = 100'000;
+  if (const char* env = std::getenv("BUSSENSE_LOD_RIDERS")) {
+    riders = std::atoll(env);
+  }
+  if (riders <= 0) {
+    std::cout << "lod serving: skipped (BUSSENSE_LOD_RIDERS=0)\n";
+    return;
+  }
+  print_banner(std::cout, "LOD metropolis: serving a day-0 epoch");
+
+  const Testbed& bed = testbed();
+  const LodWorld lod(bed.world, riders, {});
+  ThreadPool pool(8);
+  const std::vector<LodTrip> trips = lod.simulate_day(0, &pool);
+  std::vector<TimedUpload> workload;
+  workload.reserve(trips.size());
+  for (const LodTrip& t : trips) {
+    workload.push_back(TimedUpload{t.trip.upload, t.arrival});
+  }
+
+  ShardedIngestConfig sharding;
+  sharding.shards = 4;
+  ServerConfig server_config;
+  server_config.admission.enabled = true;
+  ShardedIngestService service(bed.world.city(), bed.database, server_config,
+                               sharding);
+  EpochPublisher pub(service.catalog());
+  ReplayOptions options;
+  options.advance_every_s = 900.0;
+  options.publish_every = 1;
+  options.publisher = &pub;
+  const auto replay_start = std::chrono::steady_clock::now();
+  const ReplayStats stats = replay_workload(service, workload, options);
+  const double replay_s = seconds_since(replay_start);
+
+  // Flat-out single-reader pass against the final epoch.
+  QueryService svc(pub);
+  const auto& keys = service.catalog().adjacent_keys();
+  std::size_t reads = 0;
+  const auto read_start = std::chrono::steady_clock::now();
+  while (seconds_since(read_start) < 0.5) {
+    for (int burst = 0; burst < 1024; ++burst) {
+      benchmark::DoNotOptimize(svc.segment_speed(keys[reads++ % keys.size()]));
+    }
+  }
+  const double reads_per_s =
+      static_cast<double>(reads) / seconds_since(read_start);
+
+  const TrafficMap map =
+      service.snapshot(stats.last_arrival + 30.0, kDay);
+  Table t({"riders", "trips", "epochs", "live segments", "reads/s"});
+  t.add_row({std::to_string(riders), std::to_string(stats.submitted),
+             std::to_string(stats.epochs_published),
+             std::to_string(map.segments().size()),
+             Fmt::fixed(reads_per_s, 0)});
+  t.print(std::cout);
+  json.field("\"lod_serving\": {\"riders\": " + std::to_string(riders) +
+             ", \"trips\": " + std::to_string(stats.submitted) +
+             ", \"accepted\": " + std::to_string(stats.accepted) +
+             ", \"epochs_published\": " + std::to_string(stats.epochs_published) +
+             ", \"live_segments\": " + std::to_string(map.segments().size()) +
+             ", \"replay_s\": " + num(replay_s) +
+             ", \"reads_per_s\": " + num(reads_per_s) + "}");
+}
+
 void report() {
   JsonReport json;
   std::cout << "workload: " << bench_trips().size()
@@ -326,6 +402,8 @@ void report() {
     std::cout << "mixed sweep: " << Fmt::fixed(elapsed, 3) << " s total\n";
     json.field("\"mixed\": [" + mrows.str() + "]");
   }
+
+  lod_report(json);
 
   json.write("BENCH_serving.json");
   std::cout << "wrote BENCH_serving.json\n";

@@ -1,0 +1,67 @@
+// lod_cityweek: generate a tiered-fidelity city-week trip stream.
+//
+// Runs the LodWorld metropolis generator (DESIGN.md §15) for a rider
+// population over one or more days and writes the canonical %.17g trip
+// stream to a file (or stdout). The stream is a pure function of
+// (seed, riders, days) — byte-identical at any thread count — which is
+// what scripts/tier1.sh's BUSSENSE_LOD stage checks by diffing two runs
+// at different thread counts.
+//
+// Run:  ./lod_cityweek [riders] [days] [threads] [seed] [out-file]
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "trafficsim/lod_world.h"
+
+using namespace bussense;
+
+int main(int argc, char** argv) {
+  const std::int64_t riders = argc > 1 ? std::atoll(argv[1]) : 20000;
+  const int days = argc > 2 ? std::atoi(argv[2]) : 1;
+  const unsigned threads =
+      argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 4;
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2026;
+  const std::string out_path = argc > 5 ? argv[5] : "";
+
+  World world;
+  LodConfig config;
+  config.seed = seed;
+  const LodWorld lod(world, riders, config);
+  const LodCensus& census = lod.census();
+  std::cerr << "lod_cityweek: riders=" << census.riders
+            << " focus=" << census.focus << " event=" << census.event
+            << " onrails=" << census.on_rails << " threads=" << threads
+            << " seed=" << seed << "\n";
+
+  ThreadPool pool(threads);
+  std::vector<LodTrip> all;
+  for (int day = 0; day < days; ++day) {
+    std::vector<LodTrip> trips = lod.simulate_day(day, &pool);
+    std::cerr << "  day " << day << (LodWorld::is_weekend(day) ? " (weekend)" : "")
+              << ": " << trips.size() << " trips\n";
+    all.insert(all.end(), std::make_move_iterator(trips.begin()),
+               std::make_move_iterator(trips.end()));
+  }
+  const LodLoss loss = lod.loss();
+  std::cerr << "  planned=" << loss.planned << " emitted=" << loss.emitted
+            << " dropped_no_route=" << loss.dropped_no_route
+            << " thin=" << loss.thin << "\n";
+  std::cerr << "  stream digest: " << std::hex << LodWorld::stream_digest(all)
+            << std::dec << "\n";
+
+  if (out_path.empty()) {
+    LodWorld::write_stream(std::cout, all);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    LodWorld::write_stream(out, all);
+    std::cerr << "  wrote " << out_path << "\n";
+  }
+  return 0;
+}

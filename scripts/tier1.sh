@@ -42,6 +42,15 @@
 # no-torn-epoch property: 8 readers racing sustained publishes) and again
 # under ASan+UBSan with leak detection on (the 10k-epoch churn property:
 # every retired epoch reclaimed). Off by default.
+#
+# Optional LOD metropolis stage: BUSSENSE_LOD=ON ./scripts/tier1.sh builds
+# the tiered-fidelity simulation suites (test_lod_world + the metropolis
+# golden band) under ASan+UBSan, byte-diffs two same-seed lod_cityweek
+# trip streams generated at different thread counts, then runs the
+# million-rider city-week determinism + replay bench through the ctest
+# `bench` label in a separate build-lod/ tree (so the fast gate's build/
+# never flips BUSSENSE_BENCH_TESTS). Off by default -- the long run takes
+# ~10 minutes on a single-core host.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -144,6 +153,33 @@ if [[ "${BUSSENSE_SERVING:-}" == "ON" ]]; then
   # Leak detection proves the 10k-epoch churn reclaims every retired
   # epoch -- the grace-period protocol, checked by the allocator.
   ASAN_OPTIONS=detect_leaks=1 ./build-asan/tests/test_query_service
+  end_stage
+fi
+
+if [[ "${BUSSENSE_LOD:-}" == "ON" ]]; then
+  begin_stage "ASan+UBSan LOD suites (test_lod_world, metropolis golden)"
+  cmake -B build-asan -S . -DBUSSENSE_SANITIZE=address,undefined
+  cmake --build build-asan -j --target test_lod_world test_golden_accuracy
+  ./build-asan/tests/test_lod_world
+  ./build-asan/tests/test_golden_accuracy --gtest_filter='*Metropolis*'
+  end_stage
+  begin_stage "deterministic-seed re-run byte diff (lod_cityweek)"
+  cmake --build build -j --target lod_cityweek
+  # Two same-seed runs at different thread counts must produce the same
+  # bytes -- the full %.17g trip stream, not just a digest.
+  ./build/examples/lod_cityweek 60000 2 1 2026 build/lod_stream_a.txt
+  ./build/examples/lod_cityweek 60000 2 4 2026 build/lod_stream_b.txt
+  cmp build/lod_stream_a.txt build/lod_stream_b.txt
+  rm -f build/lod_stream_a.txt build/lod_stream_b.txt
+  end_stage
+  begin_stage "million-rider city-week (ctest bench label, build-lod/)"
+  cmake -B build-lod -S . -DBUSSENSE_BENCH_TESTS=ON
+  cmake --build build-lod -j --target bench_ingest_service
+  # The bench itself asserts the determinism contract (day-0 thread
+  # ladder + same-seed week re-run) and exits non-zero on a digest
+  # mismatch; BUSSENSE_LOD_RIDERS can scale the metropolis down for
+  # smoke runs of this stage.
+  (cd build-lod && ctest --output-on-failure -R 'bench.bench_ingest_service')
   end_stage
 fi
 

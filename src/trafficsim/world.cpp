@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "sensing/gps_model.h"
 
 namespace bussense {
@@ -27,6 +28,10 @@ World::World(WorldConfig config) : config_(std::move(config)) {
   bus_sim_ = std::make_unique<BusSimulator>(*city_, *traffic_, *demand_,
                                             config_.bus);
   accel_model_ = AccelModel(config_.accel);
+  EventChannelConfig channel;
+  channel.detection_prob = config_.beep_detection_prob;
+  channel.false_beeps_per_trip = config_.false_beeps_per_trip;
+  event_channel_ = EventChannel(channel);
 }
 
 Fingerprint World::scan_stop(StopId stop, Rng& rng, bool in_bus,
@@ -68,17 +73,18 @@ Fingerprint World::apply_churn(Fingerprint fingerprint, SimTime when) const {
 
 AnnotatedTrip World::build_trip(const BusRoute& route, const BusRun& run,
                                 int board, int alight, std::int32_t participant,
-                                Rng& rng) const {
+                                Rng& rng, const EventChannel* channel) const {
   return build_trip_from_legs({TripLeg{&route, &run, board, alight}},
-                              participant, rng);
+                              participant, rng, channel);
 }
 
 AnnotatedTrip World::build_trip_from_legs(const std::vector<TripLeg>& legs,
-                                          std::int32_t participant,
-                                          Rng& rng) const {
+                                          std::int32_t participant, Rng& rng,
+                                          const EventChannel* channel) const {
   if (legs.empty()) {
     throw std::invalid_argument("build_trip_from_legs: no legs");
   }
+  const EventChannel& beeps_channel = channel ? *channel : event_channel_;
   struct BeepContext {
     SimTime time;
     Point position;
@@ -98,20 +104,20 @@ AnnotatedTrip World::build_trip_from_legs(const std::vector<TripLeg>& legs,
       const double arc = route.stop_arc(k);
       const Point bus_pos = route.path().point_at(arc);
       for (const TapEvent& tap : visit.taps) {
-        if (rng.bernoulli(config_.beep_detection_prob)) {
+        if (beeps_channel.delivered(rng)) {
           beeps.push_back(BeepContext{tap.time, bus_pos, visit.stop});
         }
       }
     }
     // Spurious detections while the bus is moving (sound-alike noises).
     if (!run.trajectory.empty()) {
-      const int spurious = rng.poisson(config_.false_beeps_per_trip);
+      const int spurious = beeps_channel.spurious_count(rng);
       const SimTime t0 =
           run.visits[static_cast<std::size_t>(leg.board)].departure;
       const SimTime t1 =
           run.visits[static_cast<std::size_t>(leg.alight)].arrival;
       for (int s = 0; s < spurious && t1 > t0; ++s) {
-        const SimTime t = rng.uniform(t0, t1);
+        const SimTime t = beeps_channel.spurious_time(t0, t1, rng);
         const Point pos = route.path().point_at(run.arc_at(t));
         beeps.push_back(BeepContext{t, pos, kInvalidStop});
       }
@@ -227,10 +233,21 @@ AnnotatedTrip World::simulate_transfer_trip(const BusRoute& first, int board_a,
       /*participant=*/0, rng);
 }
 
+void World::TripSpecStats::export_to(MetricsRegistry& registry) const {
+  registry.counter("trafficsim.specs.requested").add(requested);
+  registry.counter("trafficsim.specs.emitted").add(emitted);
+  registry.counter("trafficsim.specs.dropped").add(dropped_no_route);
+}
+
 std::vector<World::TripSpec> World::make_trip_specs(int day, std::size_t count,
-                                                    std::uint64_t seed) const {
+                                                    std::uint64_t seed,
+                                                    TripSpecStats* stats) const {
   std::vector<TripSpec> specs;
-  if (city_->routes().empty()) return specs;
+  if (stats) stats->requested += count;
+  if (city_->routes().empty()) {
+    if (stats) stats->dropped_no_route += count;
+    return specs;
+  }
   specs.reserve(count);
   const SimTime day0 = at_clock(day, 0);
   for (std::size_t i = 0; i < count; ++i) {
@@ -251,13 +268,18 @@ std::vector<World::TripSpec> World::make_trip_specs(int day, std::size_t count,
       break;
     }
     // Every retry drew a route too short to ride: drop the spec rather
-    // than hand simulate_trips an invalid route id.
-    if (spec.route == kInvalidRoute) continue;
+    // than hand simulate_trips an invalid route id — but never silently,
+    // the caller can see the loss in `stats`.
+    if (spec.route == kInvalidRoute) {
+      if (stats) ++stats->dropped_no_route;
+      continue;
+    }
     spec.depart =
         day0 + rng.uniform(config_.service_start_h, config_.service_end_h - 0.5) *
                    kHour;
     specs.push_back(spec);
   }
+  if (stats) stats->emitted += specs.size();
   return specs;
 }
 
@@ -297,13 +319,14 @@ std::vector<AnnotatedTrip> World::simulate_driver_day(int day, Rng& rng) const {
 
 AnnotatedTrip World::simulate_single_trip(const BusRoute& route, int board,
                                           int alight, SimTime bus_depart,
-                                          Rng& rng) const {
+                                          Rng& rng, std::int32_t participant,
+                                          const EventChannel* channel) const {
   const std::map<int, int> boarders{{board, 1}};
   const std::map<int, int> alighters{{alight, 1}};
   const BusRun run =
       bus_sim_->simulate_run(route, bus_depart, boarders, alighters,
                              config_.headway_s, rng, /*record_trajectory=*/true);
-  return build_trip(route, run, board, alight, /*participant=*/0, rng);
+  return build_trip(route, run, board, alight, participant, rng, channel);
 }
 
 World::DayResult World::simulate_day(int day, double intensity, Rng& rng) const {

@@ -25,6 +25,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "sensing/accel_model.h"
+#include "sensing/event_channel.h"
 #include "sensing/trip.h"
 #include "sensing/trip_recorder.h"
 #include "trafficsim/bus_sim.h"
@@ -33,6 +34,8 @@
 #include "trafficsim/traffic_field.h"
 
 namespace bussense {
+
+class MetricsRegistry;  // obs/metrics.h
 
 struct WorldConfig {
   CityConfig city;
@@ -76,6 +79,10 @@ class World {
   const DemandModel& demand() const { return *demand_; }
   const TaxiFeed& taxis() const { return *taxis_; }
   const BusSimulator& buses() const { return *bus_sim_; }
+  const AccelModel& accel() const { return accel_model_; }
+  /// The config-derived event-level beep channel used for every simulated
+  /// trip. LOD runs substitute a calibrated channel per tier.
+  const EventChannel& event_channel() const { return event_channel_; }
 
   /// One full service day of every directed route, with participant trips.
   /// `intensity` scales trips per participant (1 = normal, ~3 = the paper's
@@ -88,9 +95,14 @@ class World {
 
   /// A single annotated participant trip riding `route` from stop index
   /// `board` to `alight` on a bus departing the terminal at `bus_depart`.
+  /// `channel` overrides the beep-delivery model (null = the world's own);
+  /// the bus-run and sensing draw sequence is channel-independent up to the
+  /// channel's own draws, so runs with identical channel parameters are
+  /// bit-identical whichever instance carries them.
   AnnotatedTrip simulate_single_trip(const BusRoute& route, int board,
-                                     int alight, SimTime bus_depart,
-                                     Rng& rng) const;
+                                     int alight, SimTime bus_depart, Rng& rng,
+                                     std::int32_t participant = 0,
+                                     const EventChannel* channel = nullptr) const;
 
   /// A transfer trip: ride `first` from `board_a` to `alight_a`, walk to the
   /// nearby `board_b` stop of `second`, and continue to `alight_b`. The
@@ -120,10 +132,25 @@ class World {
     SimTime depart = 0.0;
   };
 
+  /// Accounting for spec generation: the retry loop can exhaust its 32
+  /// attempts in a degenerate city (every route shorter than 4 stops) and
+  /// must then drop the spec. Large LOD runs assert dropped == 0 so spec
+  /// loss is never silent.
+  struct TripSpecStats {
+    std::uint64_t requested = 0;
+    std::uint64_t emitted = 0;
+    std::uint64_t dropped_no_route = 0;  ///< all 32 retries hit short routes
+
+    /// Adds the counts to `trafficsim.specs.{requested,emitted,dropped}`.
+    void export_to(MetricsRegistry& registry) const;
+  };
+
   /// A deterministic city-scale trip workload: `count` specs over the day's
   /// service window, each drawn from its own (seed, index) substream.
+  /// `stats`, when non-null, accumulates generation accounting.
   std::vector<TripSpec> make_trip_specs(int day, std::size_t count,
-                                        std::uint64_t seed) const;
+                                        std::uint64_t seed,
+                                        TripSpecStats* stats = nullptr) const;
 
   /// Simulates every spec, fanned out over `pool` (serial when null). Trip
   /// i is seeded by the order-independent substream (seed, i), so the
@@ -158,12 +185,13 @@ class World {
  private:
   /// Builds the annotated trip of one rider on `run` (visits board..alight).
   AnnotatedTrip build_trip(const BusRoute& route, const BusRun& run, int board,
-                           int alight, std::int32_t participant,
-                           Rng& rng) const;
+                           int alight, std::int32_t participant, Rng& rng,
+                           const EventChannel* channel = nullptr) const;
 
   /// Builds the annotated trip across several consecutive bus legs.
   AnnotatedTrip build_trip_from_legs(const std::vector<TripLeg>& legs,
-                                     std::int32_t participant, Rng& rng) const;
+                                     std::int32_t participant, Rng& rng,
+                                     const EventChannel* channel = nullptr) const;
 
   WorldConfig config_;
   std::unique_ptr<City> city_;
@@ -174,6 +202,7 @@ class World {
   std::unique_ptr<TaxiFeed> taxis_;
   std::unique_ptr<BusSimulator> bus_sim_;
   AccelModel accel_model_;
+  EventChannel event_channel_;
 };
 
 }  // namespace bussense

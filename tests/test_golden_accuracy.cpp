@@ -27,9 +27,13 @@
 #include <numeric>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "core/ingest_service.h"
 #include "core/server.h"
 #include "core/stop_database.h"
+#include "core/workload_replay.h"
 #include "faults/fault_injection.h"
+#include "trafficsim/lod_world.h"
 #include "trafficsim/world.h"
 
 namespace bussense {
@@ -281,6 +285,89 @@ TEST(GoldenAccuracy, TenPercentCorruptionDegradesGracefully) {
   // are charged to the shape reason instead — shape runs before dedup).
   EXPECT_GT(snap.counters.at("ingest.rejected.duplicate"), 0u);
   EXPECT_LE(snap.counters.at("ingest.rejected.duplicate"), stats.duplicated);
+}
+
+// ------------------------------------------------- metropolis smoke golden
+
+TEST(GoldenAccuracy, OnRailsMetropolisSurvivesShardedIngestInBand) {
+  const GoldenBed& golden = bed();
+
+  // 50k riders in the LOD configuration the million-rider bench scales up
+  // from: tiny Focus/Event caps, so the population is OnRails-dominated
+  // and the workload is almost entirely closed-form trips.
+  LodConfig lod_config;
+  lod_config.focus_cap = 4;
+  lod_config.event_cap = 64;
+  lod_config.trips_per_rider_per_day = 0.1;
+  const LodWorld lod(golden.world, 50'000, lod_config);
+  const LodCensus& census = lod.census();
+  EXPECT_EQ(census.riders, 50'000u);
+  EXPECT_GE(census.on_rails, 49'000u);
+
+  ThreadPool pool(4);
+  const std::vector<LodTrip> trips = lod.simulate_day(0, &pool);
+  ASSERT_GE(trips.size(), 3000u);
+  const LodLoss loss = lod.loss();
+  EXPECT_EQ(loss.planned, loss.emitted + loss.dropped_no_route + loss.thin);
+  EXPECT_EQ(loss.dropped_no_route, 0u);
+
+  std::vector<TimedUpload> workload;
+  workload.reserve(trips.size());
+  for (const LodTrip& t : trips) {
+    workload.push_back(TimedUpload{t.trip.upload, t.arrival});
+  }
+
+  ShardedIngestConfig sharding;
+  sharding.shards = 4;
+  ShardedIngestService service(golden.world.city(), golden.database,
+                               admission_on(), sharding);
+  ReplayOptions options;
+  options.advance_every_s = 900.0;
+  const ReplayStats stats = replay_workload(service, workload, options);
+  EXPECT_EQ(stats.submitted, workload.size());
+  EXPECT_EQ(stats.accepted, stats.submitted);  // clean workload loses nothing
+
+  // Fused-map quality: every live segment's fused speed against the
+  // traffic-field ground truth at its last-update instant.
+  const TrafficMap map =
+      service.snapshot(stats.last_arrival + kArrivalLag, kDay);
+  std::size_t scored = 0, good = 0;
+  double err_sum = 0.0;
+  for (const MapSegment& seg : map.segments()) {
+    const SpanInfo* info = service.catalog().adjacent(seg.key);
+    if (info == nullptr) continue;
+    const double truth = golden.world.traffic().mean_car_speed_kmh(
+        golden.world.city().route(info->route), info->arc_from, info->arc_to,
+        seg.updated_at);
+    const double err = std::abs(seg.speed_kmh - truth);
+    err_sum += err;
+    if (err <= kGoodSpeedBand) ++good;
+    ++scored;
+  }
+  ASSERT_GT(scored, 100u);
+  const double within8 = static_cast<double>(good) / scored;
+  const double mean_err = err_sum / static_cast<double>(scored);
+  std::cout << "[golden] metropolis: trips=" << trips.size()
+            << " accepted=" << stats.accepted << " segments=" << scored
+            << " mean_err=" << mean_err << " within8=" << within8 << "\n";
+
+  // Counters account for every upload, shard by shard.
+  const MetricsSnapshot shard_snap = service.shard_metrics();
+  const std::uint64_t admitted = shard_snap.counters.at("ingest.admitted");
+  const std::uint64_t rejected =
+      shard_snap.counters.at("ingest.rejected.duplicate") +
+      shard_snap.counters.at("ingest.rejected.malformed") +
+      shard_snap.counters.at("ingest.rejected.non_monotone");
+  EXPECT_EQ(admitted, stats.accepted);
+  EXPECT_EQ(rejected, 0u);
+
+  // Golden bands, pinned from the measured fixed-seed values. The OnRails
+  // channel feeds the same backend as the waveform path; a fused city map
+  // built purely from closed-form trips must stay inside the clean-run
+  // accuracy envelope.
+  EXPECT_GE(within8, 0.93);
+  EXPECT_LE(mean_err, 4.5);
+  EXPECT_GE(mean_err, 1.0);
 }
 
 }  // namespace
